@@ -1,0 +1,138 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out: what the
+// memoization cache, operation chaining and the frequency constraint each
+// buy, and how expensive pass application is with and without the enabling
+// canonicalization.
+package autophase_test
+
+import (
+	"testing"
+
+	"autophase/internal/core"
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// BenchmarkAblationCompileCache measures the paper's sampling loop with the
+// sequence-memoization cache (RL episodes revisit prefixes constantly).
+func BenchmarkAblationCompileCache(b *testing.B) {
+	p, err := core.NewProgram("sha", progen.Benchmark("sha"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := [][]int{{38}, {38, 23}, {38, 23, 33}, {38}, {38, 23}, {38, 23, 33}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range seqs {
+			p.Compile(s)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(p.Samples()), "profiler-samples")
+}
+
+// BenchmarkAblationCompileNoCache pays the full profiler cost per call.
+func BenchmarkAblationCompileNoCache(b *testing.B) {
+	p, err := core.NewProgram("sha", progen.Benchmark("sha"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := [][]int{{38}, {38, 23}, {38, 23, 33}, {38}, {38, 23}, {38, 23, 33}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range seqs {
+			p.ResetSamples(true)
+			p.Compile(s)
+		}
+	}
+}
+
+// BenchmarkAblationFrequency sweeps the HLS frequency constraint: lower
+// target frequencies chain more logic per state, cutting cycle counts (the
+// §3.2 observation).
+func BenchmarkAblationFrequency(b *testing.B) {
+	m := progen.Benchmark("mpeg2")
+	for _, mhz := range []float64{400, 200, 100, 50} {
+		cfg := hls.Config{FrequencyMHz: mhz, MemPorts: 2, Dividers: 1}
+		b.Run(benchName(mhz), func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				rep, err := hls.Profile(m, cfg, interp.DefaultLimits)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = rep.Cycles
+			}
+			b.ReportMetric(float64(cycles), "cycles")
+		})
+	}
+}
+
+func benchName(mhz float64) string {
+	switch mhz {
+	case 400:
+		return "400MHz"
+	case 200:
+		return "200MHz"
+	case 100:
+		return "100MHz"
+	default:
+		return "50MHz"
+	}
+}
+
+// BenchmarkAblationO3VsBestKnown contrasts the fixed -O3 pipeline with the
+// best discovered ordering on matmul (the headline gap RL exploits).
+func BenchmarkAblationO3VsBestKnown(b *testing.B) {
+	orig := progen.Benchmark("matmul")
+	best := []int{11, 23, 5, 12, 33, 5, 36, 31} // found by greedy at 2.5k samples
+	b.Run("O3", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			m := orig.Clone()
+			passes.ApplyO3(m)
+			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = rep.Cycles
+		}
+		b.ReportMetric(float64(cycles), "cycles")
+	})
+	b.Run("BestKnown", func(b *testing.B) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			m := orig.Clone()
+			passes.Apply(m, best)
+			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = rep.Cycles
+		}
+		b.ReportMetric(float64(cycles), "cycles")
+	})
+}
+
+// BenchmarkAblationAreaObjective contrasts the cycle and area objectives on
+// the same search (the §5.1 alternative-reward extension).
+func BenchmarkAblationAreaObjective(b *testing.B) {
+	p, err := core.NewProgram("matmul", progen.Benchmark("matmul"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	unrolled := []int{11, 23, 33} // area-hungry: full unroll
+	gentle := []int{38, 31, 30}   // area-lean clean-up
+	b.ResetTimer()
+	var du, dg, au, ag int64
+	for i := 0; i < b.N; i++ {
+		du, au, _ = p.CompileArea(unrolled)
+		dg, ag, _ = p.CompileArea(gentle)
+	}
+	b.StopTimer()
+	if au <= ag {
+		b.Fatalf("unrolling should cost area: %d vs %d", au, ag)
+	}
+	b.ReportMetric(float64(du)*float64(au)/(float64(dg)*float64(ag)), "area-delay-ratio")
+}

@@ -1,0 +1,252 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper at the quick scale. Each benchmark reports the paper's metric as
+// custom benchmark metrics (improvement over -O3 in percent, samples per
+// program), so `go test -bench=. -benchmem` prints the rows the paper's
+// evaluation reports. EXPERIMENTS.md records the paper-vs-measured values.
+package autophase_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"autophase/internal/core"
+	"autophase/internal/experiments"
+	"autophase/internal/features"
+	"autophase/internal/forest"
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// --- Substrate micro-benchmarks -----------------------------------------
+
+// BenchmarkTable1PassApplication measures applying the full Table 1 pass
+// set (the -O3 pipeline) to a benchmark.
+func BenchmarkTable1PassApplication(b *testing.B) {
+	orig := progen.Benchmark("aes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := orig.Clone()
+		passes.ApplyO3(m)
+	}
+}
+
+// BenchmarkTable2FeatureExtraction measures the 56-feature extractor.
+func BenchmarkTable2FeatureExtraction(b *testing.B) {
+	m := progen.Benchmark("mpeg2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		features.Extract(m)
+	}
+}
+
+// BenchmarkHLSProfile measures one compile→schedule→profile sample, the
+// unit of the paper's samples-per-program axis.
+func BenchmarkHLSProfile(b *testing.B) {
+	m := progen.Benchmark("sha")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRandomProgramGeneration measures the CSmith stand-in.
+func BenchmarkRandomProgramGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		progen.Generate(int64(i)+1, progen.DefaultGen)
+	}
+}
+
+// --- Figure 5 / Figure 6: random-forest importance -----------------------
+
+func importanceInputs(b *testing.B) []core.Tuple {
+	b.Helper()
+	train, err := experiments.RandomPrograms(4, 9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.CollectTuples(train, 3, 10, rand.New(rand.NewSource(1)))
+}
+
+// BenchmarkFig5FeatureImportance trains the per-pass forests on program
+// features and reports how concentrated the importance mass is.
+func BenchmarkFig5FeatureImportance(b *testing.B) {
+	tuples := importanceInputs(b)
+	cfg := forest.DefaultConfig
+	cfg.Trees = 8
+	b.ResetTimer()
+	var imp *core.Importance
+	for i := 0; i < b.N; i++ {
+		imp = core.AnalyzeImportance(tuples, cfg)
+	}
+	b.StopTimer()
+	feats := imp.TopFeatures(24)
+	b.ReportMetric(float64(len(feats)), "top-features")
+}
+
+// BenchmarkFig6PassImportance reports the filtered action-space size.
+func BenchmarkFig6PassImportance(b *testing.B) {
+	tuples := importanceInputs(b)
+	cfg := forest.DefaultConfig
+	cfg.Trees = 8
+	b.ResetTimer()
+	var imp *core.Importance
+	for i := 0; i < b.N; i++ {
+		imp = core.AnalyzeImportance(tuples, cfg)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(imp.TopPasses(16))), "top-passes")
+}
+
+// --- Figure 7: per-program comparison -------------------------------------
+
+// fig7Scale is smaller than Quick so the full algorithm sweep fits in a
+// benchmark run; use cmd/experiments for the real evaluation.
+func fig7Scale() experiments.Scale {
+	sc := experiments.Quick()
+	sc.RLSteps = 180
+	sc.EpisodeLen = 10
+	sc.GreedyBudget = 140
+	sc.PPO3Steps = 140
+	sc.OTBudget = 200
+	sc.ESSteps = 220
+	sc.GABudget = 340
+	sc.RandBudget = 420
+	return sc
+}
+
+func benchFig7Algo(b *testing.B, algo string) {
+	programs, err := experiments.BenchmarkPrograms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := fig7Scale()
+	b.ResetTimer()
+	var mean, samples float64
+	for i := 0; i < b.N; i++ {
+		var sum float64
+		var totalSamples float64
+		for _, p := range programs {
+			p.ResetSamples(true)
+			best := experiments.RunFig7Algo(algo, p, sc)
+			sum += p.SpeedupOverO3(best)
+			totalSamples += float64(p.Samples())
+		}
+		mean = sum / float64(len(programs))
+		samples = totalSamples / float64(len(programs))
+	}
+	b.StopTimer()
+	b.ReportMetric(mean*100, "%improv-vs-O3")
+	b.ReportMetric(samples, "samples/prog")
+}
+
+// One benchmark per Figure 7 bar, in the paper's order.
+
+func BenchmarkFig7_O0(b *testing.B)          { benchFig7Algo(b, "-O0") }
+func BenchmarkFig7_O3(b *testing.B)          { benchFig7Algo(b, "-O3") }
+func BenchmarkFig7_RLPPO1(b *testing.B)      { benchFig7Algo(b, "RL-PPO1") }
+func BenchmarkFig7_RLPPO2(b *testing.B)      { benchFig7Algo(b, "RL-PPO2") }
+func BenchmarkFig7_RLA3C(b *testing.B)       { benchFig7Algo(b, "RL-A3C") }
+func BenchmarkFig7_Greedy(b *testing.B)      { benchFig7Algo(b, "Greedy") }
+func BenchmarkFig7_RLPPO3(b *testing.B)      { benchFig7Algo(b, "RL-PPO3") }
+func BenchmarkFig7_OpenTuner(b *testing.B)   { benchFig7Algo(b, "OpenTuner") }
+func BenchmarkFig7_RLES(b *testing.B)        { benchFig7Algo(b, "RL-ES") }
+func BenchmarkFig7_GeneticDEAP(b *testing.B) { benchFig7Algo(b, "Genetic-DEAP") }
+func BenchmarkFig7_Random(b *testing.B)      { benchFig7Algo(b, "random") }
+
+// --- Figure 8: generalization learning curves -----------------------------
+
+func benchGenSetting(b *testing.B, settingIdx int) {
+	sc := experiments.Quick()
+	sc.TrainPrograms = 6
+	sc.GenRLSteps = 900
+	train, err := experiments.RandomPrograms(sc.TrainPrograms, 9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp := experiments.Importance(train, sc, 1)
+	set := experiments.GenSettings(imp, sc)[settingIdx]
+	b.ResetTimer()
+	var final float64
+	for i := 0; i < b.N; i++ {
+		for _, p := range train {
+			p.ResetSamples(true)
+		}
+		_, curve := experiments.TrainGeneralizer(train, set, sc, int64(100+i))
+		if len(curve) > 0 {
+			final = curve[len(curve)-1].RewardMean
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(final, "final-reward-mean")
+}
+
+// BenchmarkFig8OriginalNorm2 trains with all features/passes, technique 2.
+func BenchmarkFig8OriginalNorm2(b *testing.B) { benchGenSetting(b, 0) }
+
+// BenchmarkFig8FilteredNorm1 trains with §4-filtered spaces, technique 1.
+func BenchmarkFig8FilteredNorm1(b *testing.B) { benchGenSetting(b, 1) }
+
+// BenchmarkFig8FilteredNorm2 trains with §4-filtered spaces, technique 2.
+func BenchmarkFig8FilteredNorm2(b *testing.B) { benchGenSetting(b, 2) }
+
+// --- Figure 9: zero-shot generalization ------------------------------------
+
+// BenchmarkFig9ZeroShot runs the full transfer comparison: train/search on
+// random programs, apply to the nine benchmarks at one sample each.
+func BenchmarkFig9ZeroShot(b *testing.B) {
+	sc := experiments.Quick()
+	sc.TrainPrograms = 5
+	sc.GenRLSteps = 700
+	sc.TransferBudget = 60
+	train, err := experiments.RandomPrograms(sc.TrainPrograms, 9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp := experiments.Importance(train, sc, 1)
+	test, err := experiments.BenchmarkPrograms()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rlMean float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig9(train, test, imp, sc)
+		rlMean = rows[len(rows)-1].Mean // RL-filtered-norm2
+	}
+	b.StopTimer()
+	b.ReportMetric(rlMean*100, "%improv-vs-O3")
+}
+
+// --- §6.2: generalization to many random programs --------------------------
+
+// BenchmarkRandomGeneralization trains filtered-norm2 once and reports the
+// mean improvement on unseen random programs (the paper's 12,874-program
+// experiment, scaled down).
+func BenchmarkRandomGeneralization(b *testing.B) {
+	sc := experiments.Quick()
+	sc.TrainPrograms = 5
+	sc.GenRLSteps = 700
+	sc.TestRandom = 20
+	train, err := experiments.RandomPrograms(sc.TrainPrograms, 9000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	imp := experiments.Importance(train, sc, 1)
+	set := experiments.GenSettings(imp, sc)[2]
+	agent, _ := experiments.TrainGeneralizer(train, set, sc, 42)
+	b.ResetTimer()
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.RandomGeneralization(agent, set.Cfg, sc.TestRandom, 777000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = m
+	}
+	b.StopTimer()
+	b.ReportMetric(mean*100, "%improv-vs-O3")
+}

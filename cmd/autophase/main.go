@@ -1,0 +1,380 @@
+// Command autophase optimizes a program's compiler phase ordering for HLS.
+//
+// Usage:
+//
+//	autophase -program matmul -algo ppo            # optimize one benchmark
+//	autophase -program rand:42 -algo greedy        # random program by seed
+//	autophase -program file:prog.ir -algo opentuner
+//	autophase -program sha -features               # dump the Table 2 features
+//	autophase -program aes -passes "mem2reg,loop-rotate,loop-unroll"
+//	autophase -program gsm -rtl                    # emit the scheduled RTL
+//	autophase -train 10 -agent agent.json          # train a generalizer
+//	autophase -agent agent.json -program sha       # zero-shot inference
+//	autophase -list                                # available programs/algos
+//
+// Algorithms: ppo (histogram obs), ppo-multi (§5.2), a3c, es, greedy,
+// genetic, opentuner, random, o3, o0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"math/rand"
+
+	"autophase/internal/core"
+	"autophase/internal/features"
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+	"autophase/internal/rl"
+	"autophase/internal/search"
+)
+
+func main() {
+	prog := flag.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
+	algo := flag.String("algo", "ppo", "ppo, ppo-multi, a3c, es, greedy, genetic, opentuner, random, o3, o0")
+	budget := flag.Int("budget", 800, "sample/step budget for the chosen algorithm")
+	seqLen := flag.Int("len", 45, "maximum pass-sequence length")
+	dumpFeatures := flag.Bool("features", false, "print the 56 Table 2 features and exit")
+	passList := flag.String("passes", "", "apply this comma-separated pass list instead of searching")
+	rtl := flag.Bool("rtl", false, "emit scheduled RTL for the optimized design")
+	binding := flag.Bool("binding", false, "print the functional-unit binding report")
+	dot := flag.Bool("dot", false, "print the optimized main function's CFG in GraphViz dot syntax")
+	objective := flag.String("objective", "cycles", "optimize for: cycles, area, areadelay")
+	emitIR := flag.String("emit-ir", "", "write the optimized IR to this file")
+	trainN := flag.Int("train", 0, "train a generalization agent on N random programs and save it to -agent")
+	agentPath := flag.String("agent", "", "path of a saved agent (write with -train, read for inference)")
+	verbose := flag.Bool("verbose", false, "print per-pass statistics for the final sequence")
+	list := flag.Bool("list", false, "list available programs, algorithms and passes")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("programs:", strings.Join(progen.BenchmarkNames, ", "), "+ rand:<seed>")
+		fmt.Println("algorithms: ppo, ppo-multi, a3c, es, greedy, genetic, opentuner, random, o3, o0")
+		fmt.Println("passes (Table 1):")
+		for i, n := range passes.Table1Names {
+			fmt.Printf("  %2d %s\n", i, n)
+		}
+		return
+	}
+
+	if *trainN > 0 {
+		if *agentPath == "" {
+			fatal(fmt.Errorf("-train requires -agent <path>"))
+		}
+		trainGeneralizer(*trainN, *budget, *agentPath)
+		return
+	}
+
+	m, err := loadProgram(*prog)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpFeatures {
+		f := features.Extract(m)
+		for i, v := range f {
+			fmt.Printf("%2d %-55s %d\n", i, features.Names[i], v)
+		}
+		return
+	}
+
+	p, err := core.NewProgram(*prog, m)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("program %s: O0=%d cycles, O3=%d cycles\n", *prog, p.O0Cycles, p.O3Cycles)
+
+	var seq []int
+	switch {
+	case *agentPath != "":
+		seq = inferWithAgent(p, *agentPath)
+		c, _, ok := p.Compile(seq)
+		if !ok {
+			fatal(fmt.Errorf("inference compile failed"))
+		}
+		report(p, seq, c)
+	case *passList != "":
+		seq, err = parsePasses(*passList)
+		if err != nil {
+			fatal(err)
+		}
+		c, _, ok := p.Compile(seq)
+		if !ok {
+			fatal(fmt.Errorf("compilation failed"))
+		}
+		report(p, seq, c)
+	case *algo == "o0":
+		report(p, nil, p.O0Cycles)
+	case *algo == "o3":
+		seq = passes.O3Sequence
+		report(p, seq, p.O3Cycles)
+	default:
+		seq = optimize(p, *algo, *budget, *seqLen, *objective)
+		best, bestSeq := p.BestCycles()
+		if bestSeq != nil {
+			seq = bestSeq
+		}
+		report(p, seq, best)
+	}
+
+	if *verbose {
+		pm := passes.NewManager()
+		pm.VerifyEach = true
+		opt := p.Module()
+		pm.Apply(opt, seq)
+		fmt.Print(pm.Report())
+		if after, err := pm.FirstVerifyError(); err != nil {
+			fmt.Printf("verifier failed after %s: %v\n", after, err)
+		}
+	}
+	if *emitIR != "" {
+		opt := p.Module()
+		passes.Apply(opt, seq)
+		if err := os.WriteFile(*emitIR, []byte(opt.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote optimized IR to", *emitIR)
+	}
+	if *rtl || *binding || *dot {
+		opt := p.Module()
+		passes.Apply(opt, seq)
+		if *dot {
+			if mf := opt.Func("main"); mf != nil {
+				fmt.Print(ir.DotCFG(mf))
+			}
+		}
+		sched := hls.Schedule(opt, hls.DefaultConfig)
+		if *binding {
+			fmt.Print(sched.Bind(opt).Report())
+		}
+		if *rtl {
+			fmt.Println(sched.EmitRTL(opt))
+		}
+	}
+}
+
+func loadProgram(name string) (*ir.Module, error) {
+	if seedStr, ok := strings.CutPrefix(name, "rand:"); ok {
+		seed, err := strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad seed %q", seedStr)
+		}
+		m, _ := progen.GenerateFiltered(seed, progen.DefaultGen)
+		return m, nil
+	}
+	if path, ok := strings.CutPrefix(name, "file:"); ok {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		m, err := ir.Parse(string(src))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if err := m.Verify(); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return m, nil
+	}
+	m := progen.Benchmark(name)
+	if m == nil {
+		return nil, fmt.Errorf("unknown program %q (try -list)", name)
+	}
+	return m, nil
+}
+
+func parsePasses(s string) ([]int, error) {
+	var seq []int
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := -1
+		for i, n := range passes.Table1Names {
+			if n == name || n == "-"+name {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			if v, err := strconv.Atoi(name); err == nil && v >= 0 && v < passes.NumPasses {
+				found = v
+			} else {
+				return nil, fmt.Errorf("unknown pass %q", name)
+			}
+		}
+		seq = append(seq, found)
+	}
+	return seq, nil
+}
+
+func optimize(p *core.Program, algo string, budget, seqLen int, objective string) []int {
+	cfgEnv := core.DefaultEnv()
+	cfgEnv.EpisodeLen = seqLen
+	switch objective {
+	case "area":
+		cfgEnv.Objective = core.MinimizeArea
+	case "areadelay":
+		cfgEnv.Objective = core.MinimizeAreaDelay
+	}
+	obj := &search.Objective{K: passes.NumActions, N: seqLen,
+		Eval: func(seq []int) (int64, bool) {
+			c, _, ok := p.Compile(seq)
+			return c, ok
+		}}
+	switch algo {
+	case "ppo":
+		cfgEnv.Obs = core.ObsHistogram
+		env := core.NewPhaseEnv(p, cfgEnv)
+		cfg := rl.DefaultPPO()
+		cfg.RolloutSteps = 128
+		agent := rl.NewPPO(cfg, env.ObsSize(), env.ActionDims())
+		agent.Train([]rl.Env{env}, budget, nil)
+		return env.Sequence()
+	case "ppo-multi":
+		cfgEnv.Obs = core.ObsBoth
+		env := core.NewMultiPhaseEnv(p, cfgEnv, seqLen, seqLen)
+		cfg := rl.DefaultPPO()
+		cfg.RolloutSteps = 128
+		agent := rl.NewPPO(cfg, env.ObsSize(), env.ActionDims())
+		agent.Train([]rl.Env{env}, budget, nil)
+		return env.Sequence()
+	case "a3c":
+		cfgEnv.Obs = core.ObsFeatures
+		proto := core.NewPhaseEnv(p, cfgEnv)
+		cfg := rl.DefaultA3C()
+		agent := rl.NewA3C(cfg, proto.ObsSize(), proto.ActionDims())
+		agent.Train(func(int) rl.Env { return core.NewPhaseEnv(p, cfgEnv) }, budget, nil)
+		return nil
+	case "es":
+		cfgEnv.Obs = core.ObsFeatures
+		env := core.NewPhaseEnv(p, cfgEnv)
+		agent := rl.NewES(rl.DefaultES(), env.ObsSize(), env.ActionDims())
+		agent.Train([]rl.Env{env}, budget, nil)
+		return env.Sequence()
+	case "greedy":
+		return search.Greedy(obj, budget).Seq
+	case "genetic":
+		return search.Genetic(obj, rngFor(p.Name), search.DefaultGA(), budget).Seq
+	case "opentuner":
+		return search.OpenTuner(obj, rngFor(p.Name), budget).Seq
+	case "random":
+		return search.Random(obj, rngFor(p.Name), budget).Seq
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", algo))
+		return nil
+	}
+}
+
+func report(p *core.Program, seq []int, cycles int64) {
+	var names []string
+	for _, s := range seq {
+		names = append(names, passes.Table1Names[s])
+	}
+	fmt.Printf("sequence (%d passes): %s\n", len(seq), strings.Join(names, " "))
+	fmt.Printf("cycles: %d  (%+.1f%% vs -O3, %+.1f%% vs -O0)  samples used: %d\n",
+		cycles, p.SpeedupOverO3(cycles)*100,
+		(float64(p.O0Cycles)/float64(cycles)-1)*100, p.Samples())
+
+	// Validate the optimized design still behaves identically (the paper's
+	// final logic-simulation check, here via the interpreter).
+	opt := p.Module()
+	passes.Apply(opt, seq)
+	ref, err1 := interp.Run(p.Module(), interp.DefaultLimits)
+	got, err2 := interp.Run(opt, interp.DefaultLimits)
+	if err1 != nil || err2 != nil || ref.Exit != got.Exit || len(ref.Trace) != len(got.Trace) {
+		fmt.Println("VALIDATION FAILED: optimized design diverges from reference")
+		os.Exit(1)
+	}
+	fmt.Println("validation: optimized design matches reference behaviour")
+}
+
+// genCfg is the inference/training environment configuration a saved agent
+// uses: combined observation, §5.3 technique-2 normalization, log reward.
+func genCfg(seqLen int) core.EnvConfig {
+	return core.EnvConfig{
+		Obs: core.ObsBoth, Norm: core.NormTotal,
+		EpisodeLen: seqLen, RewardLog: true,
+	}
+}
+
+// trainGeneralizer trains a PPO agent across N random programs (§6.2) and
+// saves it for later zero-shot inference.
+func trainGeneralizer(n, steps int, path string) {
+	fmt.Printf("training on %d random programs for %d steps...\n", n, steps)
+	train, err := experimentsRandomPrograms(n)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := genCfg(45)
+	envs := make([]rl.Env, len(train))
+	for i, p := range train {
+		envs[i] = core.NewPhaseEnv(p, cfg)
+	}
+	pcfg := rl.DefaultPPO()
+	pcfg.Hidden = []int{128, 128}
+	agent := rl.NewPPO(pcfg, envs[0].(*core.PhaseEnv).ObsSize(), envs[0].ActionDims())
+	agent.Train(envs, steps, func(st rl.Stats) {
+		fmt.Printf("  steps=%6d episodes=%4d reward-mean=%.1f\n",
+			st.TotalSteps, st.TotalEpisodes, st.EpisodeRewardMean)
+	})
+	if err := agent.Snapshot().Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Println("saved agent to", path)
+}
+
+func experimentsRandomPrograms(n int) ([]*core.Program, error) {
+	var ps []*core.Program
+	seed := int64(9000)
+	for i := 0; i < n; i++ {
+		m, used := progen.GenerateFiltered(seed, progen.DefaultGen)
+		seed = used + 1
+		p, err := core.NewProgram(fmt.Sprintf("rand%d", used), m)
+		if err != nil {
+			return nil, err
+		}
+		ps = append(ps, p)
+	}
+	return ps, nil
+}
+
+// inferWithAgent runs one greedy rollout with a saved agent (one profiler
+// sample, as in Figure 9).
+func inferWithAgent(p *core.Program, path string) []int {
+	snap, err := rl.LoadSnapshot(path)
+	if err != nil {
+		fatal(err)
+	}
+	agent, err := rl.RestorePPO(snap)
+	if err != nil {
+		fatal(err)
+	}
+	seq, _, _ := core.InferGreedy(p, genCfg(45), func(obs []float64) int {
+		return agent.Act(obs, true)[0]
+	})
+	return seq
+}
+
+func rngFor(name string) *rand.Rand {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h = (h ^ int64(c)) * 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return rand.New(rand.NewSource(h))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autophase:", err)
+	os.Exit(1)
+}

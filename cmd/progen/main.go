@@ -1,0 +1,63 @@
+// Command progen emits the suite's programs as textual IR files: the nine
+// CHStone-style benchmarks and CSmith-style random programs by seed. The
+// files round-trip through ir.Parse and feed cmd/autophase -program
+// file:<path>.
+//
+// Usage:
+//
+//	progen -out dir                # write all nine benchmarks
+//	progen -rand 5 -seed 100 -out dir   # plus five filtered random programs
+//	progen -program matmul         # print one program to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autophase/internal/progen"
+)
+
+func main() {
+	out := flag.String("out", "", "directory to write .ir files into")
+	one := flag.String("program", "", "print a single benchmark to stdout")
+	nRand := flag.Int("rand", 0, "number of random programs to generate")
+	seed := flag.Int64("seed", 1, "starting seed for random programs")
+	flag.Parse()
+
+	if *one != "" {
+		m := progen.Benchmark(*one)
+		if m == nil {
+			fmt.Fprintf(os.Stderr, "progen: unknown benchmark %q\n", *one)
+			os.Exit(1)
+		}
+		fmt.Print(m.String())
+		return
+	}
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "progen: -out directory required (or -program)")
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "progen:", err)
+		os.Exit(1)
+	}
+	write := func(name, content string) {
+		path := filepath.Join(*out, name+".ir")
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "progen:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+	for _, name := range progen.BenchmarkNames {
+		write(name, progen.Benchmark(name).String())
+	}
+	s := *seed
+	for i := 0; i < *nRand; i++ {
+		m, used := progen.GenerateFiltered(s, progen.DefaultGen)
+		s = used + 1
+		write(m.Name, m.String())
+	}
+}

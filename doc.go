@@ -1,0 +1,10 @@
+// Package autophase is a from-scratch Go reproduction of "AutoPhase:
+// Juggling HLS Phase Orderings in Random Forests with Deep Reinforcement
+// Learning" (Huang, Haj-Ali et al., MLSys 2020).
+//
+// The public surface lives under internal/ packages wired together by
+// cmd/autophase and cmd/experiments; see README.md for the architecture and
+// DESIGN.md for the paper-to-module mapping. The root package exists to
+// host the repository-level benchmarks (bench_test.go), which regenerate
+// each table and figure of the paper's evaluation.
+package autophase

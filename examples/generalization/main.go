@@ -1,0 +1,66 @@
+// Generalization: train once on random programs, optimize unseen programs
+// with a single inference rollout (§6.2 of the paper).
+//
+// Run with:
+//
+//	go run ./examples/generalization
+//
+// The deep-RL agent trains on CSmith-style random programs only — the
+// worst case for transfer — then zero-shot optimizes the nine real
+// benchmarks at one profiler sample each, where black-box searches would
+// need thousands of samples per new program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autophase/internal/core"
+	"autophase/internal/experiments"
+)
+
+func main() {
+	// The quick evaluation budgets (10 training programs, 6k PPO steps):
+	// a couple of minutes of training.
+	sc := experiments.Quick()
+
+	fmt.Printf("generating %d random training programs...\n", sc.TrainPrograms)
+	// Same committed seeds as the Figure 9 evaluation run (results/).
+	train, err := experiments.RandomPrograms(sc.TrainPrograms, 9000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("running the random-forest importance analysis (Figures 5-6)...")
+	imp := experiments.Importance(train, sc, 1)
+	set := experiments.GenSettings(imp, sc)[2] // filtered-norm2
+	fmt.Printf("filtered state space: %d features; filtered action space: %d passes\n",
+		len(set.Cfg.FeatureMask), len(set.Cfg.ActionList))
+
+	fmt.Printf("training PPO (filtered-norm2) for %d steps...\n", sc.GenRLSteps)
+	agent, curve := experiments.TrainGeneralizer(train, set, sc, 8805857438948679074)
+	if len(curve) > 0 {
+		fmt.Printf("  final episode reward mean: %.2f\n", curve[len(curve)-1].RewardMean)
+	}
+
+	fmt.Println("\nzero-shot inference on the nine benchmarks (1 sample each):")
+	test, err := experiments.BenchmarkPrograms()
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	for _, p := range test {
+		p.ResetSamples(true)
+		_, cycles, ok := core.InferGreedy(p, set.Cfg, func(obs []float64) int {
+			return agent.Act(obs, true)[0]
+		})
+		if !ok {
+			cycles = p.O0Cycles
+		}
+		impr := p.SpeedupOverO3(cycles)
+		sum += impr
+		fmt.Printf("  %-10s %8d cycles  (%+6.1f%% vs -O3)  samples=%d\n",
+			p.Name, cycles, impr*100, p.Samples())
+	}
+	fmt.Printf("mean improvement over -O3: %+.1f%%\n", sum/float64(len(test))*100)
+}

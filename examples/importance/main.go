@@ -1,0 +1,70 @@
+// Importance: reproduce the paper's §4 random-forest analysis of which
+// program features and previously-applied passes predict whether a pass
+// will improve the circuit (Figures 5 and 6).
+//
+// Run with:
+//
+//	go run ./examples/importance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"autophase/internal/core"
+	"autophase/internal/experiments"
+	"autophase/internal/features"
+	"autophase/internal/forest"
+	"autophase/internal/passes"
+)
+
+func main() {
+	const nPrograms = 8
+	fmt.Printf("generating %d random programs and exploration tuples...\n", nPrograms)
+	train, err := experiments.RandomPrograms(nPrograms, 555)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tuples := core.CollectTuples(train, 6, 16, rand.New(rand.NewSource(1)))
+	fmt.Printf("collected %d feature-action-reward tuples\n", len(tuples))
+
+	cfg := forest.DefaultConfig
+	cfg.Trees = 20
+	imp := core.AnalyzeImportance(tuples, cfg)
+
+	fmt.Println()
+	fmt.Print(experiments.RenderHeatMap(
+		"Figure 5: program-feature importance per pass", imp.FeatureByPass))
+	fmt.Println()
+	fmt.Print(experiments.RenderHeatMap(
+		"Figure 6: previously-applied-pass importance per pass", imp.PassByPass))
+
+	// The paper's reading of the maps: which pairs stand out.
+	fmt.Println("\nstrongest feature->pass correlations:")
+	type hit struct {
+		pass, feat int
+		v          float64
+	}
+	var hits []hit
+	for pi, row := range imp.FeatureByPass {
+		for fi, v := range row {
+			hits = append(hits, hit{pi, fi, v})
+		}
+	}
+	for i := 0; i < 8; i++ {
+		best := i
+		for j := i + 1; j < len(hits); j++ {
+			if hits[j].v > hits[best].v {
+				best = j
+			}
+		}
+		hits[i], hits[best] = hits[best], hits[i]
+		h := hits[i]
+		fmt.Printf("  %-22s <- %s (%.2f)\n",
+			passes.Table1Names[h.pass], features.Names[h.feat], h.v)
+	}
+
+	fmt.Println("\nfiltered spaces for the generalization experiments:")
+	fmt.Print(experiments.RenderImportanceSummary(imp, 12, 10))
+}

@@ -1,0 +1,3 @@
+module autophase
+
+go 1.22

@@ -1,0 +1,345 @@
+// Package core is the AutoPhase framework (Figure 4 of the paper): it wires
+// the compiler passes, the IR feature extractor and the HLS clock-cycle
+// profiler into a gym-style reinforcement-learning environment, collects
+// the feature–action–reward tuples the random-forest analysis consumes, and
+// reduces the state/action spaces from the forests' importances.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"autophase/internal/features"
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+)
+
+// Program wraps one input program with compilation caching: the paper
+// counts "samples" as clock-cycle profiler invocations, so repeated
+// evaluations of the same pass sequence are memoized and free.
+type Program struct {
+	Name string
+	orig *ir.Module
+
+	O0Cycles int64 // cycles with no optimization
+	O3Cycles int64 // cycles after the -O3 reference pipeline
+
+	hlsCfg    hls.Config
+	lim       interp.Limits
+	mu        sync.Mutex // guards the fields below (A3C workers share one Program)
+	cache     map[string]compileResult
+	featCache map[string][]int64
+	irCache   map[string]*ir.Module // optimized IR per sequence prefix
+	samples   int
+	best      int64 // best cycle count seen since the last reset
+	bestSeq   []int
+}
+
+// irCacheCap bounds the per-program optimized-IR cache; episodes extend
+// sequences one pass at a time, so the previous prefix is almost always
+// resident and each compile costs one pass application instead of the
+// whole sequence.
+const irCacheCap = 2048
+
+type compileResult struct {
+	cycles int64
+	area   int64
+	feats  []int64
+	ok     bool
+}
+
+// NewProgram profiles the unoptimized and -O3 baselines and returns the
+// wrapped program. The module is cloned; the caller's copy is not touched.
+func NewProgram(name string, m *ir.Module) (*Program, error) {
+	p := &Program{
+		Name:    name,
+		orig:    m.Clone(),
+		hlsCfg:  hls.DefaultConfig,
+		lim:     interp.DefaultLimits,
+		cache:   make(map[string]compileResult),
+		irCache: make(map[string]*ir.Module),
+	}
+	r0, err := hls.Profile(p.orig, p.hlsCfg, p.lim)
+	if err != nil {
+		return nil, fmt.Errorf("core: O0 profile of %s: %w", name, err)
+	}
+	p.O0Cycles = r0.Cycles
+	o3 := p.orig.Clone()
+	passes.ApplyO3(o3)
+	r3, err := hls.Profile(o3, p.hlsCfg, p.lim)
+	if err != nil {
+		return nil, fmt.Errorf("core: O3 profile of %s: %w", name, err)
+	}
+	p.O3Cycles = r3.Cycles
+	return p, nil
+}
+
+// Module returns a fresh clone of the original (unoptimized) module.
+func (p *Program) Module() *ir.Module { return p.orig.Clone() }
+
+// Features returns the feature vector of the unoptimized program.
+func (p *Program) Features() []int64 { return features.Extract(p.orig) }
+
+func seqKey(seq []int) string {
+	b := make([]byte, len(seq))
+	for i, s := range seq {
+		b[i] = byte(s)
+	}
+	return string(b)
+}
+
+// Compile applies the pass sequence to a clone of the program, extracts
+// features and profiles the estimated cycle count. Results are memoized;
+// each cache miss counts as one profiler sample.
+func (p *Program) Compile(seq []int) (cycles int64, feats []int64, ok bool) {
+	key := seqKey(seq)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, hit := p.cache[key]; hit {
+		return r.cycles, r.feats, r.ok
+	}
+	m := p.buildIR(seq, key)
+	p.samples++
+	var res compileResult
+	if rep, err := hls.Profile(m, p.hlsCfg, p.lim); err == nil {
+		res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
+			feats: features.Extract(m), ok: true}
+		if p.best == 0 || rep.Cycles < p.best {
+			p.best = rep.Cycles
+			p.bestSeq = append([]int(nil), seq...)
+		}
+	}
+	p.cache[key] = res
+	return res.cycles, res.feats, res.ok
+}
+
+// CompileArea is Compile's area-objective variant: it returns the
+// functional-unit area estimate (LUTs) alongside the cycle count, for the
+// §5.1 alternative rewards (area, or multi-objective combinations).
+func (p *Program) CompileArea(seq []int) (cycles, area int64, ok bool) {
+	c, _, okc := p.Compile(seq)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.cache[seqKey(seq)]
+	return c, r.area, okc
+}
+
+// buildIR produces the optimized module for seq, reusing the longest cached
+// prefix so that sequence extensions apply only the new suffix. Callers
+// hold p.mu. The returned module is cached and must not be mutated.
+func (p *Program) buildIR(seq []int, key string) *ir.Module {
+	if m, ok := p.irCache[key]; ok {
+		return m
+	}
+	// Longest cached prefix (the empty prefix is the original program).
+	start := 0
+	var base *ir.Module = p.orig
+	for i := len(seq) - 1; i > 0; i-- {
+		if m, ok := p.irCache[key[:i]]; ok {
+			base, start = m, i
+			break
+		}
+	}
+	m := base.Clone()
+	passes.Apply(m, seq[start:])
+	if len(p.irCache) >= irCacheCap {
+		p.irCache = make(map[string]*ir.Module, irCacheCap)
+	}
+	p.irCache[key] = m
+	return m
+}
+
+// BestCycles returns the best cycle count (and its sequence) observed by
+// any Compile since the last ResetSamples — how the evaluation scores each
+// algorithm's run on a program.
+func (p *Program) BestCycles() (int64, []int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.best == 0 {
+		return p.O0Cycles, nil
+	}
+	return p.best, append([]int(nil), p.bestSeq...)
+}
+
+// Samples reports the number of profiler invocations (cache misses).
+func (p *Program) Samples() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.samples
+}
+
+// ResetSamples zeroes the sample counter (e.g. between search runs), and
+// optionally drops the memoization cache so every algorithm pays full cost.
+func (p *Program) ResetSamples(dropCache bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.samples = 0
+	p.best = 0
+	p.bestSeq = nil
+	if dropCache {
+		p.cache = make(map[string]compileResult)
+		p.featCache = nil
+		p.irCache = make(map[string]*ir.Module)
+	}
+}
+
+// SpeedupOverO3 converts a cycle count into the paper's headline metric:
+// the fractional circuit-performance improvement over -O3 (positive is
+// faster than -O3).
+func (p *Program) SpeedupOverO3(cycles int64) float64 {
+	if cycles <= 0 {
+		return 0
+	}
+	return float64(p.O3Cycles)/float64(cycles) - 1
+}
+
+// ObsKind selects the observation space of Table 3.
+type ObsKind int
+
+// Observation spaces.
+const (
+	ObsFeatures  ObsKind = iota // program features (RL-A3C, RL-ES)
+	ObsHistogram                // action history histogram (RL-PPO2)
+	ObsBoth                     // histogram ++ features (RL-PPO3, generalization nets)
+)
+
+// Normalize selects the §5.3 feature/reward normalization technique.
+type Normalize int
+
+// Normalization techniques.
+const (
+	NormNone  Normalize = iota
+	NormLog             // technique 1: log(1+x) of features
+	NormTotal           // technique 2: divide by total instruction count
+)
+
+// Objective selects what the environment's reward optimizes (§5.1: "It is
+// possible to define a different reward for different objectives", e.g.
+// circuit area, or a combination).
+type Objective int
+
+// Optimization objectives.
+const (
+	MinimizeCycles    Objective = iota // the paper's default: circuit speed
+	MinimizeArea                       // negative area as reward
+	MinimizeAreaDelay                  // area·cycles product (balanced QoR)
+)
+
+// EnvConfig configures a phase-ordering environment.
+type EnvConfig struct {
+	Obs        ObsKind
+	Norm       Normalize
+	Objective  Objective
+	EpisodeLen int // N, the maximum passes per episode (45 in §6.1)
+	// RewardLog applies the §6.2 log-scaled reward so large programs do not
+	// dominate multi-program training (normalization technique 1 applied
+	// to rewards).
+	RewardLog bool
+	// RewardRelative divides the cycle improvement by the program's
+	// unoptimized cycle count (§5.3 technique 2 applied to rewards):
+	// rewards become fractions of the problem size.
+	RewardRelative bool
+	// FeatureMask restricts the observed features to these indices (the §4
+	// filtered state space); nil keeps all 56.
+	FeatureMask []int
+	// ActionList restricts the action space to these pass indices (the §4
+	// filtered action space); nil allows all 45 passes.
+	ActionList []int
+}
+
+// DefaultEnv matches the per-program evaluation setting of §6.1.
+func DefaultEnv() EnvConfig {
+	return EnvConfig{Obs: ObsBoth, Norm: NormNone, EpisodeLen: 45}
+}
+
+func (c EnvConfig) actions() []int {
+	if c.ActionList != nil {
+		return c.ActionList
+	}
+	all := make([]int, passes.NumActions)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+func (c EnvConfig) featIdx() []int {
+	if c.FeatureMask != nil {
+		return c.FeatureMask
+	}
+	all := make([]int, features.NumFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// normalizeFeatures maps raw features into the observation under the
+// configured technique.
+func (c EnvConfig) normalizeFeatures(raw []int64) []float64 {
+	idx := c.featIdx()
+	out := make([]float64, len(idx))
+	switch c.Norm {
+	case NormLog:
+		for i, fi := range idx {
+			out[i] = math.Log1p(float64(raw[fi]))
+		}
+	case NormTotal:
+		den := float64(raw[features.TotalInstructions])
+		if den <= 0 {
+			den = 1
+		}
+		for i, fi := range idx {
+			out[i] = float64(raw[fi]) / den
+		}
+	default:
+		for i, fi := range idx {
+			out[i] = float64(raw[fi])
+		}
+	}
+	return out
+}
+
+func (c EnvConfig) reward(prev, cur, base int64) float64 {
+	// §5.1: R = c_prev − c_cur.
+	d := float64(prev - cur)
+	switch {
+	case c.RewardLog:
+		// §6.2: log-scaled improvement, sign preserved.
+		if d > 0 {
+			return math.Log1p(d)
+		}
+		return -math.Log1p(-d)
+	case c.RewardRelative && base > 0:
+		// Technique 2: improvement as a fraction of the unoptimized
+		// program (scaled so typical rewards land near unit range).
+		return 100 * d / float64(base)
+	}
+	return d
+}
+
+// FeaturesAfter applies the pass sequence and extracts features without
+// invoking the clock-cycle profiler. Inference needs the next observation
+// but no reward, so this does not count as a sample — which is how the
+// paper's deep-RL inference reaches 1 sample per program (Figure 9).
+func (p *Program) FeaturesAfter(seq []int) []int64 {
+	key := seqKey(seq)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, hit := p.cache[key]; hit && r.ok {
+		return r.feats
+	}
+	if f, hit := p.featCache[key]; hit {
+		return f
+	}
+	m := p.buildIR(seq, key)
+	f := features.Extract(m)
+	if p.featCache == nil {
+		p.featCache = make(map[string][]int64)
+	}
+	p.featCache[key] = f
+	return f
+}

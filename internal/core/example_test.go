@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+
+	"autophase/internal/core"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// ExampleProgram demonstrates the Figure 4 loop by hand: compile a pass
+// sequence, read the clock-cycle estimate and the new feature vector.
+func ExampleProgram() {
+	p, err := core.NewProgram("matmul", progen.Benchmark("matmul"))
+	if err != nil {
+		panic(err)
+	}
+	// mem2reg -> loop-rotate -> loop-unroll: the enabling chain the paper's
+	// agents learn.
+	seq := []int{38, 23, 33}
+	cycles, feats, ok := p.Compile(seq)
+	fmt.Println("compiled:", ok)
+	fmt.Println("faster than -O0:", cycles < p.O0Cycles)
+	fmt.Println("feature count:", len(feats))
+	fmt.Println("profiler samples:", p.Samples())
+	// Output:
+	// compiled: true
+	// faster than -O0: true
+	// feature count: 56
+	// profiler samples: 1
+}
+
+// ExamplePhaseEnv shows the gym-style environment of §5.1.
+func ExamplePhaseEnv() {
+	p, err := core.NewProgram("sha", progen.Benchmark("sha"))
+	if err != nil {
+		panic(err)
+	}
+	cfg := core.DefaultEnv()
+	cfg.Obs = core.ObsHistogram
+	cfg.EpisodeLen = 3
+	env := core.NewPhaseEnv(p, cfg)
+
+	obs := env.Reset()
+	fmt.Println("observation size:", len(obs))
+	_, reward, done := env.Step([]int{38}) // -mem2reg
+	fmt.Println("mem2reg reward positive:", reward > 0)
+	fmt.Println("done after one step:", done)
+	fmt.Println("actions:", env.ActionDims()[0] == passes.NumActions)
+	// Output:
+	// observation size: 45
+	// mem2reg reward positive: true
+	// done after one step: false
+	// actions: true
+}

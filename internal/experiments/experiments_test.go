@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"testing"
+
+	"autophase/internal/core"
+	"autophase/internal/passes"
+)
+
+// tinyScale keeps unit tests fast; the benchmarks use Quick/Full.
+func tinyScale() Scale {
+	sc := Quick()
+	sc.RLSteps = 90
+	sc.EpisodeLen = 8
+	sc.GreedyBudget = 60
+	sc.PPO3Steps = 60
+	sc.OTBudget = 80
+	sc.ESSteps = 100
+	sc.GABudget = 120
+	sc.RandBudget = 140
+	sc.TrainPrograms = 3
+	sc.GenRLSteps = 300
+	sc.TransferBudget = 30
+	sc.TestRandom = 4
+	sc.TupleEpisodes = 2
+	sc.TupleLen = 8
+	return sc
+}
+
+func twoPrograms(t *testing.T) []*core.Program {
+	t.Helper()
+	var ps []*core.Program
+	for _, n := range []string{"mpeg2", "sha"} {
+		p, err := core.NewProgram(n, benchmarkModule(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func TestFig7AllAlgorithmsRun(t *testing.T) {
+	sc := tinyScale()
+	rows := Fig7(twoPrograms(t), sc)
+	if len(rows) != len(Fig7Algorithms) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]AlgoResult{}
+	for _, r := range rows {
+		byName[r.Algo] = r
+		if len(r.PerProgram) != 2 {
+			t.Fatalf("%s: missing per-program results", r.Algo)
+		}
+	}
+	if byName["-O3"].Mean != 0 {
+		t.Fatalf("-O3 improvement must be 0, got %f", byName["-O3"].Mean)
+	}
+	if byName["-O0"].Mean >= 0 {
+		t.Fatalf("-O0 should be worse than -O3, got %f", byName["-O0"].Mean)
+	}
+	// Search algorithms must never be negative: the empty sequence is in
+	// their search space... (they may not evaluate it, but the incumbent
+	// accounting uses best-seen, which is at worst the first candidate).
+	for _, algo := range []string{"Greedy", "random", "OpenTuner", "Genetic-DEAP"} {
+		if byName[algo].SamplesPerProgram <= 1 {
+			t.Fatalf("%s consumed no samples", algo)
+		}
+	}
+}
+
+func TestFig89Pipeline(t *testing.T) {
+	sc := tinyScale()
+	train, err := RandomPrograms(sc.TrainPrograms, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := Importance(train, sc, 1)
+	if len(imp.FeatureByPass) != passes.NumActions {
+		t.Fatal("importance shape")
+	}
+	curves := Fig8(train, imp, sc)
+	for _, name := range []string{"original-norm2", "filtered-norm1", "filtered-norm2"} {
+		if len(curves[name]) == 0 {
+			t.Fatalf("no curve for %s", name)
+		}
+	}
+	test := twoPrograms(t)
+	rows := Fig9(train, test, imp, sc)
+	if len(rows) != len(Fig9Algorithms) {
+		t.Fatalf("fig9 rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SamplesPerProgram != 1 {
+			t.Fatalf("%s: zero-shot transfer must cost 1 sample/program, got %f",
+				r.Algo, r.SamplesPerProgram)
+		}
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	rows := []AlgoResult{{Algo: "x", Mean: 0.1, SamplesPerProgram: 3,
+		PerProgram: map[string]float64{"a": 0.1}}}
+	if s := RenderAlgoResults("t", rows); len(s) == 0 {
+		t.Fatal("empty render")
+	}
+	if s := RenderPerProgram(rows); len(s) == 0 {
+		t.Fatal("empty per-program render")
+	}
+	if s := RenderTable3(); len(s) < 100 {
+		t.Fatal("table 3 too short")
+	}
+	hm := [][]float64{{0, 0.5}, {1, 0}}
+	if s := RenderHeatMap("h", hm); len(s) == 0 {
+		t.Fatal("empty heat map")
+	}
+	if s := HeatMapCSV(hm); s != "0.000000,0.500000\n1.000000,0.000000\n" {
+		t.Fatalf("csv: %q", s)
+	}
+}
+
+func TestMeanImprovementGeometric(t *testing.T) {
+	// One 4x win and one 4x loss must cancel to ~0 under the geometric
+	// mean; an arithmetic mean would report +137%.
+	per := map[string]float64{"w": 3.0, "l": -0.75}
+	if m := meanImprovement(per); m > 1e-9 || m < -1e-9 {
+		t.Fatalf("geometric mean not ratio-symmetric: %f", m)
+	}
+	// A catastrophic failure cannot drive the mean to -100%.
+	per = map[string]float64{"a": 0.1, "b": -1.0}
+	if m := meanImprovement(per); m <= -1 {
+		t.Fatalf("mean collapsed: %f", m)
+	}
+	if meanImprovement(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}

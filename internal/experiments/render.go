@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autophase/internal/core"
+	"autophase/internal/features"
+	"autophase/internal/passes"
+)
+
+// RenderAlgoResults formats a Figure 7/9-style table.
+func RenderAlgoResults(title string, rows []AlgoResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-18s %14s %18s\n", "algorithm", "improvement", "samples/program")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %13.1f%% %18.1f\n", r.Algo, r.Mean*100, r.SamplesPerProgram)
+	}
+	return sb.String()
+}
+
+// RenderPerProgram formats the per-benchmark breakdown of one result set.
+func RenderPerProgram(rows []AlgoResult) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	var names []string
+	for n := range rows[0].PerProgram {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s", "algorithm")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %9s", n)
+	}
+	sb.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s", r.Algo)
+		for _, n := range names {
+			fmt.Fprintf(&sb, " %8.1f%%", r.PerProgram[n]*100)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderCurves formats Figure 8 learning curves as aligned columns.
+func RenderCurves(curves map[string][]CurvePoint) string {
+	var names []string
+	for n := range curves {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var sb strings.Builder
+	sb.WriteString("Figure 8: episode reward mean vs. step\n")
+	for _, n := range names {
+		fmt.Fprintf(&sb, "# %s\n", n)
+		for _, pt := range curves[n] {
+			fmt.Fprintf(&sb, "%8d %12.3f\n", pt.Step, pt.RewardMean)
+		}
+	}
+	return sb.String()
+}
+
+// RenderHeatMap renders an importance matrix as an ASCII heat map with the
+// paper's orientation: one row per pass, one column per feature (Figure 5)
+// or per previously-applied pass (Figure 6).
+func RenderHeatMap(title string, rows [][]float64) string {
+	shades := []byte(" .:-=+*#%@")
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (rows: pass index; columns: input index; darker = more important)\n", title)
+	maxv := 0.0
+	for _, row := range rows {
+		for _, v := range row {
+			if v > maxv {
+				maxv = v
+			}
+		}
+	}
+	if maxv == 0 {
+		maxv = 1
+	}
+	for pi, row := range rows {
+		fmt.Fprintf(&sb, "%2d |", pi)
+		for _, v := range row {
+			idx := int(v / maxv * float64(len(shades)-1))
+			if idx >= len(shades) {
+				idx = len(shades) - 1
+			}
+			sb.WriteByte(shades[idx])
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// HeatMapCSV renders an importance matrix as CSV for external plotting.
+func HeatMapCSV(rows [][]float64) string {
+	var sb strings.Builder
+	for _, row := range rows {
+		for i, v := range row {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, "%.6f", v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderTable3 prints the paper's Table 3: the observation and action
+// spaces of the five deep-RL configurations.
+func RenderTable3() string {
+	type row struct{ name, algo, obs, act string }
+	rows := []row{
+		{"RL-PPO1", "PPO", "Program Features", "Single-Action"},
+		{"RL-PPO2", "PPO", "Action History", "Single-Action"},
+		{"RL-PPO3", "PPO", "Action History + Program Features", "Multiple-Action"},
+		{"RL-A3C", "A3C", "Program Features", "Single-Action"},
+		{"RL-ES", "ES", "Program Features", "Single-Action"},
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 3: observation and action spaces of the deep RL algorithms\n")
+	fmt.Fprintf(&sb, "%-10s %-6s %-36s %-16s\n", "config", "algo", "observation space", "action space")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %-6s %-36s %-16s\n", r.name, r.algo, r.obs, r.act)
+	}
+	return sb.String()
+}
+
+// RenderImportanceSummary lists the top features and passes by aggregate
+// importance, with their Table 1/2 names — the textual counterpart of the
+// paper's §4 discussion.
+func RenderImportanceSummary(imp *core.Importance, nFeat, nPass int) string {
+	var sb strings.Builder
+	sb.WriteString("Top program features by importance (Figure 5 aggregate):\n")
+	for _, fi := range imp.TopFeatures(nFeat) {
+		fmt.Fprintf(&sb, "  f%-3d %s\n", fi, features.Names[fi])
+	}
+	sb.WriteString("Top previously-applied passes by importance (Figure 6 aggregate):\n")
+	for _, pi := range imp.TopPasses(nPass) {
+		fmt.Fprintf(&sb, "  p%-3d %s\n", pi, passes.Table1Names[pi])
+	}
+	return sb.String()
+}

@@ -1,0 +1,144 @@
+package features
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autophase/internal/ir"
+)
+
+// handBuilt constructs a module with exactly known feature counts.
+func handBuilt() *ir.Module {
+	m := ir.NewModule("feat")
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	thenB := f.NewBlock("then")
+	elseB := f.NewBlock("else")
+	join := f.NewBlock("join")
+
+	b.SetInsert(entry)
+	al := b.Alloca(ir.I32)
+	b.Store(ir.ConstInt(ir.I32, 0), al)
+	x := b.Load(al)
+	add := b.Add(x, ir.ConstInt(ir.I32, 1)) // binary op with const operand
+	cond := b.ICmp(ir.CmpSLT, add, ir.ConstInt(ir.I32, 10))
+	b.CondBr(cond, thenB, elseB)
+
+	b.SetInsert(thenB)
+	tv := b.Mul(add, add)
+	b.Br(join)
+
+	b.SetInsert(elseB)
+	ev := b.Xor(add, ir.ConstInt(ir.I32, -1))
+	b.Br(join)
+
+	b.SetInsert(join)
+	phi := b.Phi(ir.I32)
+	phi.SetPhiIncoming(thenB, tv)
+	phi.SetPhiIncoming(elseB, ev)
+	b.Ret(phi)
+	return m
+}
+
+func TestFeatureIndexTable(t *testing.T) {
+	f := Extract(handBuilt())
+	if len(f) != NumFeatures {
+		t.Fatalf("vector length %d", len(f))
+	}
+	check := func(idx int, want int64) {
+		t.Helper()
+		if f[idx] != want {
+			t.Errorf("feature %d (%s) = %d, want %d", idx, Names[idx], f[idx], want)
+		}
+	}
+	check(27, 1) // allocas
+	check(26, 1) // adds
+	check(38, 1) // muls
+	check(48, 1) // xors
+	check(35, 1) // icmps
+	check(37, 1) // loads
+	check(45, 1) // stores
+	check(40, 1) // phis
+	check(41, 1) // rets
+	check(32, 3) // br instructions total
+	check(15, 1) // conditional branches
+	check(23, 2) // unconditional branches
+	check(50, 4) // basic blocks
+	check(53, 1) // non-external functions
+	check(14, 1) // phi nodes at head of blocks
+	check(54, 2) // phi args total
+	check(13, 3) // blocks with no phis
+	check(11, 1) // blocks with 1..3 phis
+	check(24, 2) // binary ops with const operand (add, xor)
+	check(9, 1)  // blocks with 2 successors
+	check(6, 1)  // blocks with 2 predecessors (join)
+	check(7, 0)  // blocks with 2 preds and 1 succ: join ends in ret (0 succs)
+}
+
+func TestEdgesAndCriticalEdges(t *testing.T) {
+	f := Extract(handBuilt())
+	// entry->then, entry->else, then->join, else->join.
+	if f[18] != 4 {
+		t.Fatalf("edges = %d, want 4", f[18])
+	}
+	if f[17] != 0 {
+		t.Fatalf("critical edges = %d, want 0", f[17])
+	}
+}
+
+func TestConstantOccurrences(t *testing.T) {
+	f := Extract(handBuilt())
+	// 32-bit consts: 0 (store), 1 (add), 10 (icmp), -1 (xor).
+	if f[19] != 4 {
+		t.Fatalf("32-bit constant occurrences = %d, want 4", f[19])
+	}
+	if f[21] != 1 { // constant 0
+		t.Fatalf("const-0 occurrences = %d", f[21])
+	}
+	if f[22] != 1 { // constant 1
+		t.Fatalf("const-1 occurrences = %d", f[22])
+	}
+}
+
+func TestTotalInstructionsDominates(t *testing.T) {
+	// Property: feature 51 (total instructions) is at least the sum of any
+	// single opcode-count feature, and all features are non-negative.
+	f := func(seed int64) bool {
+		m := handBuilt()
+		v := Extract(m)
+		for _, x := range v {
+			if x < 0 {
+				return false
+			}
+		}
+		opcodeFeatures := []int{25, 26, 27, 28, 31, 32, 33, 34, 35, 36, 37,
+			38, 39, 40, 41, 42, 43, 44, 45, 46, 47, 48, 49}
+		var sum int64
+		for _, i := range opcodeFeatures {
+			sum += v[i]
+		}
+		return v[TotalInstructions] >= sum && v[TotalInstructions] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Extract(handBuilt())
+	b := Extract(handBuilt())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("feature %d differs across runs", i)
+		}
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	for i, n := range Names {
+		if n == "" {
+			t.Fatalf("feature %d has no name", i)
+		}
+	}
+}

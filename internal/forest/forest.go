@@ -1,0 +1,227 @@
+// Package forest implements CART decision trees and random forests with
+// Gini-impurity feature importances — the tool §4 of the paper uses to
+// quantify which program features and previously-applied passes predict
+// whether a pass will improve the circuit, and to shrink the RL state and
+// action spaces.
+package forest
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Config bounds tree growth.
+type Config struct {
+	Trees       int
+	MaxDepth    int
+	MinSamples  int     // minimum samples to attempt a split
+	FeatureFrac float64 // fraction of features tried per split (0 = sqrt)
+	Seed        int64
+}
+
+// DefaultConfig is a reasonable forest for the importance analysis.
+var DefaultConfig = Config{Trees: 40, MaxDepth: 10, MinSamples: 8, Seed: 1}
+
+type node struct {
+	feature  int
+	thresh   float64
+	left     *node
+	right    *node
+	leafProb float64 // P(label=1) at a leaf
+	isLeaf   bool
+}
+
+// Tree is one CART classifier.
+type Tree struct {
+	root       *node
+	importance []float64 // un-normalized Gini decrease per feature
+}
+
+// Forest is a bagged ensemble of trees.
+type Forest struct {
+	Cfg   Config
+	Trees []*Tree
+	nfeat int
+}
+
+// gini computes the impurity of a label multiset given counts.
+func gini(pos, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	p := float64(pos) / float64(total)
+	return 2 * p * (1 - p)
+}
+
+// Fit trains a forest on X (rows of features) and binary labels y.
+func Fit(cfg Config, X [][]float64, y []int) *Forest {
+	if len(X) == 0 {
+		return &Forest{Cfg: cfg}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Forest{Cfg: cfg, nfeat: len(X[0])}
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample.
+		idx := make([]int, len(X))
+		for i := range idx {
+			idx[i] = rng.Intn(len(X))
+		}
+		tr := &Tree{importance: make([]float64, f.nfeat)}
+		tr.root = grow(cfg, rng, X, y, idx, 0, tr.importance)
+		f.Trees = append(f.Trees, tr)
+	}
+	return f
+}
+
+func grow(cfg Config, rng *rand.Rand, X [][]float64, y []int, idx []int, depth int, imp []float64) *node {
+	pos := 0
+	for _, i := range idx {
+		pos += y[i]
+	}
+	leaf := func() *node {
+		return &node{isLeaf: true, leafProb: float64(pos) / float64(max(1, len(idx)))}
+	}
+	if depth >= cfg.MaxDepth || len(idx) < cfg.MinSamples || pos == 0 || pos == len(idx) {
+		return leaf()
+	}
+	nfeat := len(X[0])
+	ntry := int(cfg.FeatureFrac * float64(nfeat))
+	if ntry <= 0 {
+		ntry = intSqrt(nfeat)
+	}
+	parent := gini(pos, len(idx))
+
+	bestGain := 0.0
+	bestFeat, bestThresh := -1, 0.0
+	tried := rng.Perm(nfeat)[:ntry]
+	vals := make([]float64, 0, len(idx))
+	for _, ft := range tried {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][ft])
+		}
+		sort.Float64s(vals)
+		// Candidate thresholds at value midpoints (deduplicated).
+		for k := 1; k < len(vals); k++ {
+			if vals[k] == vals[k-1] {
+				continue
+			}
+			th := (vals[k] + vals[k-1]) / 2
+			lp, ln, rp, rn := 0, 0, 0, 0
+			for _, i := range idx {
+				if X[i][ft] <= th {
+					ln++
+					lp += y[i]
+				} else {
+					rn++
+					rp += y[i]
+				}
+			}
+			if ln == 0 || rn == 0 {
+				continue
+			}
+			w := float64(len(idx))
+			child := float64(ln)/w*gini(lp, ln) + float64(rn)/w*gini(rp, rn)
+			gain := parent - child
+			if gain > bestGain {
+				bestGain, bestFeat, bestThresh = gain, ft, th
+			}
+		}
+	}
+	if bestFeat < 0 || bestGain <= 1e-12 {
+		return leaf()
+	}
+	imp[bestFeat] += bestGain * float64(len(idx))
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &node{
+		feature: bestFeat,
+		thresh:  bestThresh,
+		left:    grow(cfg, rng, X, y, li, depth+1, imp),
+		right:   grow(cfg, rng, X, y, ri, depth+1, imp),
+	}
+}
+
+func intSqrt(n int) int {
+	r := 1
+	for r*r < n {
+		r++
+	}
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PredictProb returns the ensemble probability that the label is 1.
+func (f *Forest) PredictProb(x []float64) float64 {
+	if len(f.Trees) == 0 {
+		return 0.5
+	}
+	var s float64
+	for _, t := range f.Trees {
+		n := t.root
+		for !n.isLeaf {
+			if x[n.feature] <= n.thresh {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		s += n.leafProb
+	}
+	return s / float64(len(f.Trees))
+}
+
+// Predict returns the majority-vote class.
+func (f *Forest) Predict(x []float64) int {
+	if f.PredictProb(x) >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Importances returns mean-decrease-impurity feature importances,
+// normalized to sum to 1 (all zeros when no split was ever made).
+func (f *Forest) Importances() []float64 {
+	imp := make([]float64, f.nfeat)
+	for _, t := range f.Trees {
+		for i, v := range t.importance {
+			imp[i] += v
+		}
+	}
+	var sum float64
+	for _, v := range imp {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range imp {
+			imp[i] /= sum
+		}
+	}
+	return imp
+}
+
+// Accuracy evaluates classification accuracy on a labelled set.
+func (f *Forest) Accuracy(X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range X {
+		if f.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}

@@ -1,0 +1,101 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synth builds a dataset where only feature 2 matters: y = x2 > 0.5.
+func synth(n int, rng *rand.Rand) ([][]float64, []int) {
+	X := make([][]float64, n)
+	y := make([]int, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		if X[i][2] > 0.5 {
+			y[i] = 1
+		}
+	}
+	return X, y
+}
+
+func TestForestLearnsSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	X, y := synth(400, rng)
+	f := Fit(DefaultConfig, X, y)
+	Xt, yt := synth(200, rand.New(rand.NewSource(2)))
+	if acc := f.Accuracy(Xt, yt); acc < 0.95 {
+		t.Fatalf("accuracy %.3f on trivial task", acc)
+	}
+}
+
+func TestImportanceIdentifiesFeature(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	X, y := synth(400, rng)
+	f := Fit(DefaultConfig, X, y)
+	imp := f.Importances()
+	for i, v := range imp {
+		if i != 2 && v > imp[2] {
+			t.Fatalf("feature %d importance %.3f exceeds the true feature's %.3f", i, v, imp[2])
+		}
+	}
+	if imp[2] < 0.5 {
+		t.Fatalf("true feature importance too low: %v", imp)
+	}
+}
+
+func TestImportancesNormalized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		X, y := synth(100, rng)
+		cfg := DefaultConfig
+		cfg.Trees = 10
+		cfg.Seed = seed
+		fr := Fit(cfg, X, y)
+		var sum float64
+		for _, v := range fr.Importances() {
+			if v < 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9 || sum == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForestDeterministicUnderSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	X, y := synth(200, rng)
+	a := Fit(DefaultConfig, X, y)
+	b := Fit(DefaultConfig, X, y)
+	for i := 0; i < 50; i++ {
+		x := []float64{rand.Float64(), rand.Float64(), rand.Float64(), rand.Float64()}
+		if a.PredictProb(x) != b.PredictProb(x) {
+			t.Fatal("same seed, different forests")
+		}
+	}
+}
+
+func TestEmptyAndConstantData(t *testing.T) {
+	f := Fit(DefaultConfig, nil, nil)
+	if p := f.PredictProb([]float64{1}); p != 0.5 {
+		t.Fatalf("empty forest prob %v", p)
+	}
+	X := [][]float64{{1, 1}, {1, 1}, {1, 1}, {1, 1}}
+	y := []int{1, 1, 1, 1}
+	f = Fit(DefaultConfig, X, y)
+	if f.Predict([]float64{1, 1}) != 1 {
+		t.Fatal("constant-label forest mispredicts")
+	}
+	var sum float64
+	for _, v := range f.Importances() {
+		sum += v
+	}
+	if sum != 0 {
+		t.Fatal("no split should mean zero importances")
+	}
+}

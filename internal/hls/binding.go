@@ -1,0 +1,118 @@
+package hls
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autophase/internal/ir"
+)
+
+// UnitKind buckets operations onto hardware functional-unit classes, the
+// granularity LegUp's binding stage reports.
+type UnitKind string
+
+// Functional-unit classes.
+const (
+	UnitAdder      UnitKind = "adder"
+	UnitMultiplier UnitKind = "multiplier"
+	UnitDivider    UnitKind = "divider"
+	UnitLogic      UnitKind = "logic"
+	UnitShifter    UnitKind = "shifter"
+	UnitComparator UnitKind = "comparator"
+	UnitMemPort    UnitKind = "mem-port"
+	UnitMux        UnitKind = "mux"
+)
+
+func unitOf(in *ir.Instr) (UnitKind, bool) {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		return UnitAdder, true
+	case ir.OpMul:
+		return UnitMultiplier, true
+	case ir.OpSDiv, ir.OpSRem:
+		return UnitDivider, true
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return UnitLogic, true
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if _, ok := ir.IsConst(in.Args[1]); ok {
+			return "", false // constant shifts are wiring
+		}
+		return UnitShifter, true
+	case ir.OpICmp:
+		return UnitComparator, true
+	case ir.OpLoad, ir.OpStore, ir.OpMemset:
+		return UnitMemPort, true
+	case ir.OpSelect, ir.OpPhi:
+		return UnitMux, true
+	}
+	return "", false
+}
+
+// Binding is a resource-sharing report: how many units of each class the
+// design needs when operations scheduled in different states share units,
+// versus fully spatial (one unit per operation) implementation.
+type Binding struct {
+	// Shared is the per-class unit count under maximal sharing: the peak
+	// number of simultaneously-active operations of that class across all
+	// blocks and states.
+	Shared map[UnitKind]int
+	// Spatial is the per-class operation count (one unit each, LegUp's
+	// default binding for most operators).
+	Spatial map[UnitKind]int
+	// Registers estimates the number of value registers (one per
+	// instruction whose value crosses a state boundary, approximated by
+	// all non-void instructions).
+	Registers int
+}
+
+// Bind computes the binding report for a scheduled module. Peak concurrent
+// usage per class is approximated per block as ceil(ops/states): a block
+// with 8 adds over 4 states needs at least 2 shared adders.
+func (ms *ModuleSchedule) Bind(m *ir.Module) *Binding {
+	b := &Binding{Shared: make(map[UnitKind]int), Spatial: make(map[UnitKind]int)}
+	for _, f := range m.Funcs {
+		fs := ms.Funcs[f]
+		for _, blk := range f.Blocks {
+			counts := make(map[UnitKind]int)
+			for _, in := range blk.Instrs {
+				if u, ok := unitOf(in); ok {
+					counts[u]++
+					b.Spatial[u]++
+				}
+				if !in.Ty.IsVoid() {
+					b.Registers++
+				}
+			}
+			states := 1
+			if fs != nil {
+				if bs := fs.Blocks[blk]; bs != nil {
+					states = bs.States
+				}
+			}
+			for u, n := range counts {
+				need := (n + states - 1) / states
+				if need > b.Shared[u] {
+					b.Shared[u] = need
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Report renders the binding as an aligned table.
+func (b *Binding) Report() string {
+	kinds := make([]string, 0, len(b.Spatial))
+	for k := range b.Spatial {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %8s\n", "unit", "spatial", "shared")
+	for _, k := range kinds {
+		fmt.Fprintf(&sb, "%-12s %8d %8d\n", k, b.Spatial[UnitKind(k)], b.Shared[UnitKind(k)])
+	}
+	fmt.Fprintf(&sb, "%-12s %8d\n", "registers", b.Registers)
+	return sb.String()
+}

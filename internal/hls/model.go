@@ -1,0 +1,88 @@
+// Package hls is the LegUp stand-in: it schedules each basic block's
+// instructions into FSM states under a target clock frequency with operation
+// chaining and memory-port resource constraints, and combines the per-block
+// state counts with the interpreter's block-frequency profile to estimate
+// the synthesized circuit's total clock cycles — the reward signal the
+// paper's RL agent optimizes.
+package hls
+
+import "autophase/internal/ir"
+
+// Config sets the synthesis constraints. The paper fixes the frequency
+// constraint at 200 MHz; lower frequencies give a larger per-cycle delay
+// budget so more logic chains into a single FSM state.
+type Config struct {
+	// FrequencyMHz is the target clock frequency constraint.
+	FrequencyMHz float64
+	// MemPorts is the number of RAM ports usable per cycle (LegUp targets
+	// dual-port block RAMs).
+	MemPorts int
+	// Dividers is the number of division units available per cycle.
+	Dividers int
+}
+
+// DefaultConfig mirrors the paper's experimental setting.
+var DefaultConfig = Config{FrequencyMHz: 200, MemPorts: 2, Dividers: 1}
+
+// CycleNs returns the per-cycle delay budget in nanoseconds.
+func (c Config) CycleNs() float64 { return 1000.0 / c.FrequencyMHz }
+
+// opTiming describes one operation's hardware timing.
+type opTiming struct {
+	delayNs   float64 // combinational delay; chains with others in a state
+	latency   int     // 0 = combinational; >0 = fixed multi-cycle unit
+	memPort   bool    // consumes a memory port on its issue cycle
+	divider   bool    // consumes the divider
+	barrier   bool    // must keep program order with other barriers
+	areaLUTs  int     // rough LUT cost of a dedicated unit
+	stateOnly bool    // consumes a full state on its own (calls)
+}
+
+// timing returns the timing record for an instruction. Constant-operand
+// shifts are free wiring; variable shifts need a barrel shifter.
+func timing(in *ir.Instr) opTiming {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub:
+		return opTiming{delayNs: 2.4, areaLUTs: 32}
+	case ir.OpMul:
+		return opTiming{delayNs: 6.8, areaLUTs: 600}
+	case ir.OpSDiv, ir.OpSRem:
+		return opTiming{latency: 8, divider: true, areaLUTs: 1100}
+	case ir.OpAnd, ir.OpOr, ir.OpXor:
+		return opTiming{delayNs: 0.9, areaLUTs: 16}
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		if _, ok := ir.IsConst(in.Args[1]); ok {
+			return opTiming{delayNs: 0.0, areaLUTs: 0} // wiring
+		}
+		return opTiming{delayNs: 2.2, areaLUTs: 96}
+	case ir.OpICmp:
+		return opTiming{delayNs: 1.8, areaLUTs: 24}
+	case ir.OpSelect:
+		return opTiming{delayNs: 1.2, areaLUTs: 16}
+	case ir.OpPhi:
+		return opTiming{delayNs: 0.0} // resolved by state-entry muxes
+	case ir.OpAlloca:
+		return opTiming{delayNs: 0.0} // static elaboration
+	case ir.OpLoad:
+		return opTiming{latency: 2, memPort: true, barrier: false, areaLUTs: 8}
+	case ir.OpStore:
+		return opTiming{latency: 1, memPort: true, barrier: true, areaLUTs: 8}
+	case ir.OpGEP:
+		return opTiming{delayNs: 1.4, areaLUTs: 20}
+	case ir.OpMemset:
+		// One state to start the burst engine; per-cell cycles accrue
+		// dynamically in the profiler.
+		return opTiming{latency: 1, memPort: true, barrier: true, areaLUTs: 80}
+	case ir.OpTrunc, ir.OpBitCast:
+		return opTiming{delayNs: 0.0}
+	case ir.OpZExt, ir.OpSExt:
+		return opTiming{delayNs: 0.0}
+	case ir.OpCall:
+		return opTiming{stateOnly: true, barrier: true, areaLUTs: 0}
+	case ir.OpPrint:
+		return opTiming{latency: 1, barrier: true, areaLUTs: 4}
+	case ir.OpRet, ir.OpBr, ir.OpSwitch, ir.OpUnreachable:
+		return opTiming{delayNs: 0.0}
+	}
+	return opTiming{delayNs: 1.0}
+}

@@ -1,0 +1,55 @@
+package hls
+
+import (
+	"fmt"
+
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+)
+
+// Report is the clock-cycle profiler's estimate for one module, combining
+// the static schedule with the dynamic block-frequency profile — the LegUp
+// fast profiler's cycles = Σ states(b)·count(b) formula.
+type Report struct {
+	Cycles  int64 // estimated total clock cycles of the circuit
+	AreaLUT int   // functional-unit area estimate
+	Steps   int   // interpreter steps (software-trace length)
+	Exit    int64 // program exit value (for validation)
+}
+
+// Profile schedules the module and executes it to estimate the clock-cycle
+// count of the synthesized circuit. It returns an error when the program
+// fails to execute (trap, limit), which search drivers treat as an invalid
+// candidate.
+func Profile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	sched := Schedule(m, cfg)
+	res, err := interp.Run(m, lim)
+	if err != nil {
+		return nil, fmt.Errorf("hls profile: %w", err)
+	}
+	var cycles int64
+	for b, n := range res.Blocks {
+		cycles += n * int64(sched.StatesOf(b))
+	}
+	// Burst memset engine: one cycle per cell beyond the issue state.
+	cycles += res.MemsetCells
+	// Return handshake per call.
+	for _, n := range res.Calls {
+		cycles += n
+	}
+	return &Report{
+		Cycles:  cycles,
+		AreaLUT: sched.Area(),
+		Steps:   res.Steps,
+		Exit:    res.Exit,
+	}, nil
+}
+
+// Cycles is a convenience wrapper returning only the cycle estimate.
+func Cycles(m *ir.Module, cfg Config) (int64, error) {
+	r, err := Profile(m, cfg, interp.DefaultLimits)
+	if err != nil {
+		return 0, err
+	}
+	return r.Cycles, nil
+}

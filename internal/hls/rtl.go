@@ -1,0 +1,68 @@
+package hls
+
+import (
+	"fmt"
+	"strings"
+
+	"autophase/internal/ir"
+)
+
+// EmitRTL renders a compact Verilog-like description of the scheduled
+// module: one RTL module per function with an FSM whose states follow the
+// block schedule. It is the "hardware RTL" end of the Figure 4 flow; the
+// cycle profiler, not RTL simulation, supplies the reward (as in the
+// paper, which reserves logic simulation for final validation).
+func (ms *ModuleSchedule) EmitRTL(m *ir.Module) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "// RTL for module %s @ %.0f MHz\n", m.Name, ms.Config.FrequencyMHz)
+	for _, f := range m.Funcs {
+		fs := ms.Funcs[f]
+		if fs == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "module %s(input clk, input rst, input start, output reg done", f.Name)
+		for _, p := range f.Params {
+			fmt.Fprintf(&sb, ", input [%d:0] %s", bitsOf(p.Ty)-1, p.Name)
+		}
+		if !f.Ret.IsVoid() {
+			fmt.Fprintf(&sb, ", output reg [%d:0] ret", bitsOf(f.Ret)-1)
+		}
+		sb.WriteString(");\n")
+		fmt.Fprintf(&sb, "  // %d FSM states, ~%d LUTs\n", fs.States, fs.AreaLUT)
+		fmt.Fprintf(&sb, "  reg [%d:0] state;\n", fsmBits(fs.States)-1)
+		sb.WriteString("  always @(posedge clk) begin\n    case (state)\n")
+		state := 0
+		for _, b := range f.Blocks {
+			bs := fs.Blocks[b]
+			fmt.Fprintf(&sb, "      // block %s: states %d..%d\n", rtlLabel(b), state, state+bs.States-1)
+			for s := 0; s < bs.States; s++ {
+				fmt.Fprintf(&sb, "      %d: state <= %d;\n", state, state+1)
+				state++
+			}
+		}
+		sb.WriteString("    endcase\n  end\nendmodule\n\n")
+	}
+	return sb.String()
+}
+
+func rtlLabel(b *ir.Block) string {
+	if b.Name != "" {
+		return b.Name
+	}
+	return fmt.Sprintf("bb%d", b.Index())
+}
+
+func bitsOf(t *ir.Type) int {
+	if t.IsInt() {
+		return t.Bits
+	}
+	return 32
+}
+
+func fsmBits(states int) int {
+	bits := 1
+	for (1 << bits) < states+1 {
+		bits++
+	}
+	return bits
+}

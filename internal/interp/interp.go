@@ -1,0 +1,379 @@
+// Package interp executes IR modules directly. It stands in for the LegUp
+// software-trace profiler from Huang et al. 2013: running the program yields
+// per-basic-block execution counts, which the HLS cycle profiler multiplies
+// by per-block FSM state counts to estimate the circuit's clock cycles. It
+// also provides the semantic ground truth the pass property tests compare
+// against (exit value plus observable print trace).
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"autophase/internal/ir"
+)
+
+// Limits bound an execution so that generated programs which loop too long
+// are filtered out, mirroring the paper's "filter out programs that take
+// more than five minutes" step.
+type Limits struct {
+	MaxSteps int // total instructions executed
+	MaxDepth int // call depth
+	MaxCells int // total memory cells allocated
+}
+
+// DefaultLimits are generous enough for all bundled benchmarks.
+var DefaultLimits = Limits{MaxSteps: 4_000_000, MaxDepth: 256, MaxCells: 1 << 20}
+
+// Result is the outcome of executing a module's main function.
+type Result struct {
+	Exit        int64               // return value of main
+	Trace       []int64             // values printed via the print intrinsic
+	Steps       int                 // instructions executed
+	Blocks      map[*ir.Block]int64 // per-block execution counts (the profile)
+	Calls       map[*ir.Func]int64  // per-function invocation counts
+	MemsetCells int64               // total cells written by memset intrinsics
+}
+
+// Errors reported by the interpreter.
+var (
+	ErrStepLimit  = errors.New("interp: step limit exceeded")
+	ErrDepthLimit = errors.New("interp: call depth exceeded")
+	ErrMemLimit   = errors.New("interp: memory limit exceeded")
+	ErrDivByZero  = errors.New("interp: division by zero")
+	ErrOOB        = errors.New("interp: out-of-bounds memory access")
+	ErrNoMain     = errors.New("interp: module has no main function")
+	ErrUnreach    = errors.New("interp: executed unreachable")
+)
+
+type object struct{ cells []int64 }
+
+type machine struct {
+	lim    Limits
+	steps  int
+	cells  int
+	objs   []*object
+	gaddrs map[*ir.Global]int64
+	res    *Result
+}
+
+const offBits = 28 // low bits of a pointer hold the (signed-wrapped) offset
+
+func encodePtr(obj int, off int64) int64 {
+	return int64(obj+1)<<offBits | (off & ((1 << offBits) - 1))
+}
+
+func decodePtr(p int64) (obj int, off int64) {
+	return int(p>>offBits) - 1, p & ((1 << offBits) - 1)
+}
+
+// Run executes mod's main function under the given limits.
+func Run(mod *ir.Module, lim Limits) (*Result, error) {
+	main := mod.Func("main")
+	if main == nil {
+		return nil, ErrNoMain
+	}
+	m := &machine{
+		lim:    lim,
+		gaddrs: make(map[*ir.Global]int64),
+		res: &Result{
+			Blocks: make(map[*ir.Block]int64),
+			Calls:  make(map[*ir.Func]int64),
+		},
+	}
+	for _, g := range mod.Globals {
+		n := g.NumElems()
+		if m.cells+n > lim.MaxCells {
+			return nil, ErrMemLimit
+		}
+		obj := &object{cells: make([]int64, n)}
+		copy(obj.cells, g.Init)
+		m.objs = append(m.objs, obj)
+		m.cells += n
+		m.gaddrs[g] = encodePtr(len(m.objs)-1, 0)
+	}
+	var args []int64
+	for range main.Params {
+		args = append(args, 0)
+	}
+	exit, err := m.call(main, args, 0)
+	if err != nil {
+		return m.res, err
+	}
+	m.res.Exit = exit
+	m.res.Steps = m.steps
+	return m.res, nil
+}
+
+func (m *machine) alloc(n int) (int64, error) {
+	if m.cells+n > m.lim.MaxCells {
+		return 0, ErrMemLimit
+	}
+	m.objs = append(m.objs, &object{cells: make([]int64, n)})
+	m.cells += n
+	return encodePtr(len(m.objs)-1, 0), nil
+}
+
+func (m *machine) load(p int64) (int64, error) {
+	obj, off := decodePtr(p)
+	if obj < 0 || obj >= len(m.objs) || off < 0 || off >= int64(len(m.objs[obj].cells)) {
+		return 0, fmt.Errorf("%w: obj=%d off=%d", ErrOOB, obj, off)
+	}
+	return m.objs[obj].cells[off], nil
+}
+
+func (m *machine) store(p, v int64) error {
+	obj, off := decodePtr(p)
+	if obj < 0 || obj >= len(m.objs) || off < 0 || off >= int64(len(m.objs[obj].cells)) {
+		return fmt.Errorf("%w: obj=%d off=%d", ErrOOB, obj, off)
+	}
+	m.objs[obj].cells[off] = v
+	return nil
+}
+
+type frame struct {
+	vals map[ir.Value]int64
+}
+
+func (fr *frame) get(m *machine, v ir.Value) (int64, error) {
+	switch x := v.(type) {
+	case *ir.Const:
+		return x.Val, nil
+	case *ir.Undef:
+		return 0, nil
+	case *ir.Global:
+		return m.gaddrs[x], nil
+	default:
+		val, ok := fr.vals[v]
+		if !ok {
+			return 0, fmt.Errorf("interp: undefined value %s", v.Ref())
+		}
+		return val, nil
+	}
+}
+
+func (m *machine) call(f *ir.Func, args []int64, depth int) (int64, error) {
+	if depth > m.lim.MaxDepth {
+		return 0, ErrDepthLimit
+	}
+	m.res.Calls[f]++
+	fr := &frame{vals: make(map[ir.Value]int64, f.NumInstrs())}
+	for i, p := range f.Params {
+		if i < len(args) {
+			fr.vals[p] = args[i]
+		}
+	}
+	blk := f.Entry()
+	var prev *ir.Block
+	for {
+		m.res.Blocks[blk]++
+		// Phis evaluate atomically against the incoming edge.
+		phis := blk.Phis()
+		if len(phis) > 0 {
+			tmp := make([]int64, len(phis))
+			for i, phi := range phis {
+				v, ok := phi.PhiIncoming(prev)
+				if !ok {
+					return 0, fmt.Errorf("interp: phi in %s missing incoming for pred", f.Name)
+				}
+				x, err := fr.get(m, v)
+				if err != nil {
+					return 0, err
+				}
+				tmp[i] = x
+				m.steps++
+			}
+			for i, phi := range phis {
+				fr.vals[phi] = tmp[i]
+			}
+		}
+		if m.steps > m.lim.MaxSteps {
+			return 0, ErrStepLimit
+		}
+		for _, in := range blk.Instrs[len(phis):] {
+			m.steps++
+			if m.steps > m.lim.MaxSteps {
+				return 0, ErrStepLimit
+			}
+			switch {
+			case in.Op.IsBinary():
+				a, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				b, err := fr.get(m, in.Args[1])
+				if err != nil {
+					return 0, err
+				}
+				if (in.Op == ir.OpSDiv || in.Op == ir.OpSRem) && b == 0 {
+					return 0, ErrDivByZero
+				}
+				fr.vals[in] = ir.EvalBinary(in.Op, in.Ty, a, b)
+			case in.Op == ir.OpICmp:
+				a, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				b, err := fr.get(m, in.Args[1])
+				if err != nil {
+					return 0, err
+				}
+				bits := 64
+				if t := in.Args[0].Type(); t.IsInt() {
+					bits = t.Bits
+				}
+				if in.Pred.Eval(a, b, bits) {
+					fr.vals[in] = 1
+				} else {
+					fr.vals[in] = 0
+				}
+			case in.Op == ir.OpSelect:
+				c, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				var v int64
+				if c != 0 {
+					v, err = fr.get(m, in.Args[1])
+				} else {
+					v, err = fr.get(m, in.Args[2])
+				}
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in] = v
+			case in.Op == ir.OpAlloca:
+				n := 1
+				if in.AllocTy.Kind == ir.ArrayKind {
+					n = in.AllocTy.Len
+				}
+				p, err := m.alloc(n)
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in] = p
+			case in.Op == ir.OpLoad:
+				p, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				v, err := m.load(p)
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in] = in.Ty.TruncVal(v)
+			case in.Op == ir.OpStore:
+				v, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				p, err := fr.get(m, in.Args[1])
+				if err != nil {
+					return 0, err
+				}
+				if err := m.store(p, v); err != nil {
+					return 0, err
+				}
+			case in.Op == ir.OpGEP:
+				p, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				idx, err := fr.get(m, in.Args[1])
+				if err != nil {
+					return 0, err
+				}
+				obj, off := decodePtr(p)
+				fr.vals[in] = encodePtr(obj, off+idx)
+			case in.Op == ir.OpMemset:
+				p, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				v, err := fr.get(m, in.Args[1])
+				if err != nil {
+					return 0, err
+				}
+				n, err := fr.get(m, in.Args[2])
+				if err != nil {
+					return 0, err
+				}
+				obj, off := decodePtr(p)
+				m.res.MemsetCells += n
+				for i := int64(0); i < n; i++ {
+					m.steps++
+					if err := m.store(encodePtr(obj, off+i), v); err != nil {
+						return 0, err
+					}
+				}
+			case in.Op.IsCast():
+				v, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				fr.vals[in] = ir.EvalCast(in.Op, in.Args[0].Type(), in.Ty, v)
+			case in.Op == ir.OpCall:
+				cargs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					v, err := fr.get(m, a)
+					if err != nil {
+						return 0, err
+					}
+					cargs[i] = v
+				}
+				rv, err := m.call(in.Callee, cargs, depth+1)
+				if err != nil {
+					return 0, err
+				}
+				if !in.Ty.IsVoid() {
+					fr.vals[in] = rv
+				}
+			case in.Op == ir.OpPrint:
+				v, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				m.res.Trace = append(m.res.Trace, v)
+			case in.Op == ir.OpRet:
+				if len(in.Args) == 0 {
+					return 0, nil
+				}
+				return fr.get(m, in.Args[0])
+			case in.Op == ir.OpBr:
+				if len(in.Blocks) == 1 {
+					prev, blk = blk, in.Blocks[0]
+				} else {
+					c, err := fr.get(m, in.Args[0])
+					if err != nil {
+						return 0, err
+					}
+					if c != 0 {
+						prev, blk = blk, in.Blocks[0]
+					} else {
+						prev, blk = blk, in.Blocks[1]
+					}
+				}
+			case in.Op == ir.OpSwitch:
+				v, err := fr.get(m, in.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				target := in.Blocks[0]
+				for i, cv := range in.Cases {
+					if cv == v {
+						target = in.Blocks[i+1]
+						break
+					}
+				}
+				prev, blk = blk, target
+			case in.Op == ir.OpUnreachable:
+				return 0, ErrUnreach
+			default:
+				return 0, fmt.Errorf("interp: unhandled op %s", in.Op)
+			}
+			if in.IsTerminator() {
+				break
+			}
+		}
+	}
+}

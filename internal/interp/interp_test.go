@@ -1,0 +1,217 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"autophase/internal/ir"
+)
+
+// simpleMain builds main() { print(body(...)); return r }-style modules.
+func arithModule(op ir.Op, a, b int64) *ir.Module {
+	m := ir.NewModule("t")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	v := bl.Binary(op, ir.ConstInt(ir.I32, a), ir.ConstInt(ir.I32, b))
+	bl.Print(v)
+	bl.Ret(v)
+	return m
+}
+
+func TestArithmeticMatchesEval(t *testing.T) {
+	f := func(a, b int32, opSel uint8) bool {
+		ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr}
+		op := ops[int(opSel)%len(ops)]
+		m := arithModule(op, int64(a), int64(b))
+		res, err := Run(m, DefaultLimits)
+		if err != nil {
+			return false
+		}
+		want := ir.EvalBinary(op, ir.I32, int64(a), int64(b))
+		return res.Exit == want && len(res.Trace) == 1 && res.Trace[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	m := arithModule(ir.OpSDiv, 5, 0)
+	_, err := Run(m, DefaultLimits)
+	if !errors.Is(err, ErrDivByZero) {
+		t.Fatalf("want ErrDivByZero, got %v", err)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	m := ir.NewModule("mem")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	arr := bl.Alloca(ir.ArrayOf(ir.I32, 4))
+	for i := int64(0); i < 4; i++ {
+		bl.Store(ir.ConstInt(ir.I32, i*i), bl.GEP(arr, ir.ConstInt(ir.I32, i)))
+	}
+	s := bl.Add(bl.Load(bl.GEP(arr, ir.ConstInt(ir.I32, 2))),
+		bl.Load(bl.GEP(arr, ir.ConstInt(ir.I32, 3))))
+	bl.Ret(s)
+	res, err := Run(m, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 4+9 {
+		t.Fatalf("exit = %d, want 13", res.Exit)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	m := ir.NewModule("oob")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	arr := bl.Alloca(ir.ArrayOf(ir.I32, 4))
+	v := bl.Load(bl.GEP(arr, ir.ConstInt(ir.I32, 9)))
+	bl.Ret(v)
+	_, err := Run(m, DefaultLimits)
+	if !errors.Is(err, ErrOOB) {
+		t.Fatalf("want ErrOOB, got %v", err)
+	}
+}
+
+func TestGlobalsInitialized(t *testing.T) {
+	m := ir.NewModule("g")
+	g := m.NewGlobal("tab", ir.ArrayOf(ir.I32, 3), []int64{10, 20, 30}, true)
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	v := bl.Load(bl.GEP(g, ir.ConstInt(ir.I32, 1)))
+	bl.Ret(v)
+	res, err := Run(m, DefaultLimits)
+	if err != nil || res.Exit != 20 {
+		t.Fatalf("global read: %v %v", res, err)
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	m := ir.NewModule("inf")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	e := f.NewBlock("entry")
+	bl.SetInsert(e)
+	bl.Br(e) // infinite loop
+	_, err := Run(m, Limits{MaxSteps: 1000, MaxDepth: 4, MaxCells: 100})
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	m := ir.NewModule("rec")
+	f := m.NewFunc("f", ir.I32, ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	r := bl.Call(f, f.Params[0]) // f(x) = f(x): infinite recursion
+	bl.Ret(r)
+	mn := m.NewFunc("main", ir.I32)
+	bl.SetInsert(mn.NewBlock("entry"))
+	bl.Ret(bl.Call(f, ir.ConstInt(ir.I32, 1)))
+	_, err := Run(m, Limits{MaxSteps: 1 << 20, MaxDepth: 16, MaxCells: 100})
+	if !errors.Is(err, ErrDepthLimit) {
+		t.Fatalf("want ErrDepthLimit, got %v", err)
+	}
+}
+
+func TestMemsetSemantics(t *testing.T) {
+	m := ir.NewModule("ms")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	bl.SetInsert(f.NewBlock("entry"))
+	arr := bl.Alloca(ir.ArrayOf(ir.I32, 8))
+	bl.Memset(arr, ir.ConstInt(ir.I32, 7), ir.ConstInt(ir.I32, 8))
+	s := bl.Add(bl.Load(bl.GEP(arr, ir.ConstInt(ir.I32, 0))),
+		bl.Load(bl.GEP(arr, ir.ConstInt(ir.I32, 7))))
+	bl.Ret(s)
+	res, err := Run(m, DefaultLimits)
+	if err != nil || res.Exit != 14 {
+		t.Fatalf("memset: exit=%v err=%v", res.Exit, err)
+	}
+	if res.MemsetCells != 8 {
+		t.Fatalf("MemsetCells = %d", res.MemsetCells)
+	}
+}
+
+func TestBlockProfileCounts(t *testing.T) {
+	// A counted loop executing its body 10 times.
+	m := ir.NewModule("loop")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bl.SetInsert(entry)
+	bl.Br(header)
+	bl.SetInsert(header)
+	iv := bl.Phi(ir.I32)
+	cond := bl.ICmp(ir.CmpSLT, iv, ir.ConstInt(ir.I32, 10))
+	bl.CondBr(cond, body, exit)
+	bl.SetInsert(body)
+	next := bl.Add(iv, ir.ConstInt(ir.I32, 1))
+	bl.Br(header)
+	iv.SetPhiIncoming(entry, ir.ConstInt(ir.I32, 0))
+	iv.SetPhiIncoming(body, next)
+	bl.SetInsert(exit)
+	bl.Ret(iv)
+
+	res, err := Run(m, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 10 {
+		t.Fatalf("exit = %d", res.Exit)
+	}
+	if res.Blocks[header] != 11 || res.Blocks[body] != 10 || res.Blocks[exit] != 1 || res.Blocks[entry] != 1 {
+		t.Fatalf("profile: header=%d body=%d exit=%d entry=%d",
+			res.Blocks[header], res.Blocks[body], res.Blocks[exit], res.Blocks[entry])
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := arithModule(ir.OpMul, 12345, 678)
+	a, _ := Run(m, DefaultLimits)
+	b, _ := Run(m, DefaultLimits)
+	if a.Exit != b.Exit || a.Steps != b.Steps {
+		t.Fatal("interpreter nondeterministic")
+	}
+}
+
+func TestNoMain(t *testing.T) {
+	m := ir.NewModule("empty")
+	if _, err := Run(m, DefaultLimits); !errors.Is(err, ErrNoMain) {
+		t.Fatalf("want ErrNoMain, got %v", err)
+	}
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	m := ir.NewModule("sw")
+	f := m.NewFunc("main", ir.I32)
+	bl := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	c1 := f.NewBlock("c1")
+	c2 := f.NewBlock("c2")
+	def := f.NewBlock("def")
+	bl.SetInsert(entry)
+	bl.Switch(ir.ConstInt(ir.I32, 2), def, []int64{1, 2}, []*ir.Block{c1, c2})
+	bl.SetInsert(c1)
+	bl.Ret(ir.ConstInt(ir.I32, 100))
+	bl.SetInsert(c2)
+	bl.Ret(ir.ConstInt(ir.I32, 200))
+	bl.SetInsert(def)
+	bl.Ret(ir.ConstInt(ir.I32, 300))
+	res, err := Run(m, DefaultLimits)
+	if err != nil || res.Exit != 200 {
+		t.Fatalf("switch: exit=%d err=%v", res.Exit, err)
+	}
+}

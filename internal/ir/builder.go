@@ -1,0 +1,166 @@
+package ir
+
+// Builder provides a convenient API for constructing IR, used by the random
+// program generator and the hand-built benchmarks.
+type Builder struct {
+	fn  *Func
+	blk *Block
+	n   int
+}
+
+// NewBuilder returns a builder with no insertion point.
+func NewBuilder() *Builder { return &Builder{} }
+
+// SetInsert positions the builder at the end of block b.
+func (bld *Builder) SetInsert(b *Block) {
+	bld.blk = b
+	bld.fn = b.parent
+}
+
+// Block returns the current insertion block.
+func (bld *Builder) Block() *Block { return bld.blk }
+
+func (bld *Builder) emit(in *Instr) *Instr {
+	bld.blk.Append(in)
+	return in
+}
+
+// Binary emits a two-operand arithmetic/bitwise instruction.
+func (bld *Builder) Binary(op Op, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: op, Ty: a.Type(), Args: []Value{a, b}})
+}
+
+// Add emits an add.
+func (bld *Builder) Add(a, b Value) *Instr { return bld.Binary(OpAdd, a, b) }
+
+// Sub emits a sub.
+func (bld *Builder) Sub(a, b Value) *Instr { return bld.Binary(OpSub, a, b) }
+
+// Mul emits a mul.
+func (bld *Builder) Mul(a, b Value) *Instr { return bld.Binary(OpMul, a, b) }
+
+// SDiv emits a signed division.
+func (bld *Builder) SDiv(a, b Value) *Instr { return bld.Binary(OpSDiv, a, b) }
+
+// SRem emits a signed remainder.
+func (bld *Builder) SRem(a, b Value) *Instr { return bld.Binary(OpSRem, a, b) }
+
+// And emits a bitwise and.
+func (bld *Builder) And(a, b Value) *Instr { return bld.Binary(OpAnd, a, b) }
+
+// Or emits a bitwise or.
+func (bld *Builder) Or(a, b Value) *Instr { return bld.Binary(OpOr, a, b) }
+
+// Xor emits a bitwise xor.
+func (bld *Builder) Xor(a, b Value) *Instr { return bld.Binary(OpXor, a, b) }
+
+// Shl emits a left shift.
+func (bld *Builder) Shl(a, b Value) *Instr { return bld.Binary(OpShl, a, b) }
+
+// LShr emits a logical right shift.
+func (bld *Builder) LShr(a, b Value) *Instr { return bld.Binary(OpLShr, a, b) }
+
+// AShr emits an arithmetic right shift.
+func (bld *Builder) AShr(a, b Value) *Instr { return bld.Binary(OpAShr, a, b) }
+
+// ICmp emits an integer comparison producing an i1.
+func (bld *Builder) ICmp(p CmpPred, a, b Value) *Instr {
+	return bld.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{a, b}})
+}
+
+// Select emits cond ? t : f.
+func (bld *Builder) Select(cond, t, f Value) *Instr {
+	return bld.emit(&Instr{Op: OpSelect, Ty: t.Type(), Args: []Value{cond, t, f}})
+}
+
+// Phi emits an (initially empty) phi of the given type.
+func (bld *Builder) Phi(ty *Type) *Instr {
+	return bld.emit(&Instr{Op: OpPhi, Ty: ty})
+}
+
+// Alloca emits a stack allocation of ty, yielding a pointer value. Arrays
+// allocate ty.Len cells; scalars one cell.
+func (bld *Builder) Alloca(ty *Type) *Instr {
+	elem := ty
+	if ty.Kind == ArrayKind {
+		elem = ty.Elem
+	}
+	return bld.emit(&Instr{Op: OpAlloca, Ty: PointerTo(elem), AllocTy: ty})
+}
+
+// Load emits a load through ptr.
+func (bld *Builder) Load(ptr Value) *Instr {
+	return bld.emit(&Instr{Op: OpLoad, Ty: ptr.Type().Elem, Args: []Value{ptr}})
+}
+
+// Store emits a store of val through ptr.
+func (bld *Builder) Store(val, ptr Value) *Instr {
+	return bld.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// GEP emits an element-address computation ptr + idx.
+func (bld *Builder) GEP(ptr, idx Value) *Instr {
+	return bld.emit(&Instr{Op: OpGEP, Ty: ptr.Type(), Args: []Value{ptr, idx}})
+}
+
+// Memset emits the loop-idiom intrinsic memset(ptr, val, n).
+func (bld *Builder) Memset(ptr, val, n Value) *Instr {
+	return bld.emit(&Instr{Op: OpMemset, Ty: Void, Args: []Value{ptr, val, n}})
+}
+
+// Cast emits a trunc/zext/sext/bitcast to the destination type.
+func (bld *Builder) Cast(op Op, v Value, to *Type) *Instr {
+	return bld.emit(&Instr{Op: op, Ty: to, Args: []Value{v}})
+}
+
+// Trunc emits a truncation.
+func (bld *Builder) Trunc(v Value, to *Type) *Instr { return bld.Cast(OpTrunc, v, to) }
+
+// ZExt emits a zero extension.
+func (bld *Builder) ZExt(v Value, to *Type) *Instr { return bld.Cast(OpZExt, v, to) }
+
+// SExt emits a sign extension.
+func (bld *Builder) SExt(v Value, to *Type) *Instr { return bld.Cast(OpSExt, v, to) }
+
+// BitCast emits a bitcast (pointer reinterpretation).
+func (bld *Builder) BitCast(v Value, to *Type) *Instr { return bld.Cast(OpBitCast, v, to) }
+
+// Call emits a call to callee.
+func (bld *Builder) Call(callee *Func, args ...Value) *Instr {
+	return bld.emit(&Instr{Op: OpCall, Ty: callee.Ret, Callee: callee, Args: args})
+}
+
+// Print emits the observable-output intrinsic.
+func (bld *Builder) Print(v Value) *Instr {
+	return bld.emit(&Instr{Op: OpPrint, Ty: Void, Args: []Value{v}})
+}
+
+// Ret emits a return (v may be nil for void).
+func (bld *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bld.emit(in)
+}
+
+// Br emits an unconditional branch.
+func (bld *Builder) Br(dest *Block) *Instr {
+	return bld.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{dest}})
+}
+
+// CondBr emits a conditional branch.
+func (bld *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bld.emit(&Instr{Op: OpBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Switch emits a switch over v; cases pairs values with targets.
+func (bld *Builder) Switch(v Value, def *Block, vals []int64, targets []*Block) *Instr {
+	blocks := append([]*Block{def}, targets...)
+	return bld.emit(&Instr{Op: OpSwitch, Ty: Void, Args: []Value{v}, Blocks: blocks, Cases: vals})
+}
+
+// Unreachable emits an unreachable terminator.
+func (bld *Builder) Unreachable() *Instr {
+	return bld.emit(&Instr{Op: OpUnreachable, Ty: Void})
+}

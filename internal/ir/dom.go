@@ -1,0 +1,200 @@
+package ir
+
+// DomTree is a dominator tree over a function's reachable blocks, computed
+// with the Cooper–Harvey–Kennedy iterative algorithm.
+type DomTree struct {
+	fn    *Func
+	order []*Block          // reverse postorder
+	rpo   map[*Block]int    // block -> reverse postorder index
+	idom  map[*Block]*Block // immediate dominators (entry maps to itself)
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *Func) *DomTree {
+	dt := &DomTree{fn: f, rpo: make(map[*Block]int), idom: make(map[*Block]*Block)}
+	if len(f.Blocks) == 0 {
+		return dt
+	}
+	// Postorder DFS from entry.
+	seen := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[b] = true
+		for _, s := range b.Succs() {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(f.Entry())
+	// Reverse postorder.
+	for i := len(post) - 1; i >= 0; i-- {
+		dt.rpo[post[i]] = len(dt.order)
+		dt.order = append(dt.order, post[i])
+	}
+
+	entry := f.Entry()
+	dt.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range dt.order {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range b.Preds() {
+				if _, ok := dt.idom[p]; !ok {
+					continue // not yet processed / unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = dt.intersect(p, newIdom)
+				}
+			}
+			if newIdom == nil {
+				continue
+			}
+			if dt.idom[b] != newIdom {
+				dt.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	return dt
+}
+
+func (dt *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for dt.rpo[a] > dt.rpo[b] {
+			a = dt.idom[a]
+		}
+		for dt.rpo[b] > dt.rpo[a] {
+			b = dt.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (nil for the entry block or
+// unreachable blocks).
+func (dt *DomTree) IDom(b *Block) *Block {
+	d := dt.idom[b]
+	if d == b {
+		return nil
+	}
+	return d
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (dt *DomTree) Dominates(a, b *Block) bool {
+	if _, ok := dt.idom[b]; !ok {
+		return false // unreachable
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := dt.idom[b]
+		if next == b {
+			return false // reached entry
+		}
+		b = next
+	}
+}
+
+// StrictlyDominates reports whether a dominates b and a != b.
+func (dt *DomTree) StrictlyDominates(a, b *Block) bool {
+	return a != b && dt.Dominates(a, b)
+}
+
+// DominatesInstr reports whether the definition point of value v dominates
+// instruction use at (ub, ui index). Constants, params, globals and undef
+// dominate everything.
+func (dt *DomTree) DominatesInstr(v Value, use *Instr) bool {
+	def, ok := v.(*Instr)
+	if !ok {
+		return true
+	}
+	db, ub := def.Parent(), use.Parent()
+	if db == nil || ub == nil {
+		return false
+	}
+	if use.Op == OpPhi {
+		// A phi use must dominate the end of the corresponding predecessor.
+		for i, a := range use.Args {
+			if a == v {
+				pred := use.Blocks[i]
+				if !dt.Dominates(db, pred) {
+					return false
+				}
+				if db == pred && !instrPrecedesEnd(def, pred) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if db != ub {
+		return dt.StrictlyDominates(db, ub)
+	}
+	// Same block: def must come before use.
+	for _, in := range db.Instrs {
+		if in == def {
+			return true
+		}
+		if in == use {
+			return false
+		}
+	}
+	return false
+}
+
+func instrPrecedesEnd(def *Instr, b *Block) bool {
+	for _, in := range b.Instrs {
+		if in == def {
+			return true
+		}
+	}
+	return false
+}
+
+// Frontier computes the dominance frontier of every reachable block
+// (Cooper–Harvey–Kennedy style), used by mem2reg's phi placement.
+func (dt *DomTree) Frontier() map[*Block][]*Block {
+	df := make(map[*Block][]*Block)
+	add := func(b, f *Block) {
+		for _, x := range df[b] {
+			if x == f {
+				return
+			}
+		}
+		df[b] = append(df[b], f)
+	}
+	for _, b := range dt.order {
+		preds := b.Preds()
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			if _, ok := dt.idom[p]; !ok {
+				continue
+			}
+			runner := p
+			for runner != dt.idom[b] && runner != nil {
+				add(runner, b)
+				if runner == dt.idom[runner] {
+					break
+				}
+				runner = dt.idom[runner]
+			}
+		}
+	}
+	return df
+}
+
+// RPO returns the reachable blocks in reverse postorder.
+func (dt *DomTree) RPO() []*Block { return dt.order }

@@ -1,0 +1,63 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DotCFG renders the function's control-flow graph in GraphViz dot syntax,
+// annotating each block with its instruction count and loop headers with a
+// double border — the standard compiler-debugging visualization.
+func DotCFG(f *Func) string {
+	dt := NewDomTree(f)
+	loops := FindLoops(f, dt)
+	isHeader := make(map[*Block]bool)
+	depth := make(map[*Block]int)
+	for _, l := range loops {
+		isHeader[l.Header] = true
+		for _, b := range l.Body {
+			if l.Depth > depth[b] {
+				depth[b] = l.Depth
+			}
+		}
+	}
+	labels := labelsOf(f)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  node [shape=box, fontname=\"monospace\"];\n", f.Name)
+	for _, b := range f.Blocks {
+		attrs := fmt.Sprintf("label=\"%s\\n%d instrs\"", labels[b], len(b.Instrs))
+		if isHeader[b] {
+			attrs += ", peripheries=2"
+		}
+		if d := depth[b]; d > 0 {
+			attrs += fmt.Sprintf(", style=filled, fillcolor=\"gray%d\"", 95-8*min(d, 5))
+		}
+		fmt.Fprintf(&sb, "  %q [%s];\n", labels[b], attrs)
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		for i, s := range t.Targets() {
+			edge := ""
+			if t.IsConditionalBr() {
+				if i == 0 {
+					edge = " [label=\"T\"]"
+				} else {
+					edge = " [label=\"F\"]"
+				}
+			}
+			fmt.Fprintf(&sb, "  %q -> %q%s;\n", labels[b], labels[s], edge)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,190 @@
+package ir
+
+// Loop is a natural loop discovered from a back edge: Header dominates every
+// block in Body, and Latches branch back to Header.
+type Loop struct {
+	Header  *Block
+	Body    []*Block // includes Header
+	Latches []*Block // blocks with an edge Body -> Header
+	Parent  *Loop    // enclosing loop, if any
+	Depth   int      // nesting depth, 1 = outermost
+}
+
+// Contains reports whether b belongs to the loop body.
+func (l *Loop) Contains(b *Block) bool {
+	for _, x := range l.Body {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Exits returns the blocks outside the loop that are branched to from
+// inside it.
+func (l *Loop) Exits() []*Block {
+	var exits []*Block
+	seen := make(map[*Block]bool)
+	for _, b := range l.Body {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) && !seen[s] {
+				seen[s] = true
+				exits = append(exits, s)
+			}
+		}
+	}
+	return exits
+}
+
+// ExitingBlocks returns the in-loop blocks with an edge leaving the loop.
+func (l *Loop) ExitingBlocks() []*Block {
+	var ex []*Block
+	for _, b := range l.Body {
+		for _, s := range b.Succs() {
+			if !l.Contains(s) {
+				ex = append(ex, b)
+				break
+			}
+		}
+	}
+	return ex
+}
+
+// Preheader returns the unique out-of-loop predecessor of the header whose
+// only successor is the header, or nil if the loop has not been simplified.
+func (l *Loop) Preheader() *Block {
+	var outside []*Block
+	for _, p := range l.Header.Preds() {
+		if !l.Contains(p) {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) != 1 {
+		return nil
+	}
+	p := outside[0]
+	if len(p.Succs()) != 1 {
+		return nil
+	}
+	return p
+}
+
+// SingleLatch returns the latch when the loop has exactly one, else nil.
+func (l *Loop) SingleLatch() *Block {
+	if len(l.Latches) == 1 {
+		return l.Latches[0]
+	}
+	return nil
+}
+
+// FindLoops discovers the natural loops of f using dominator-based back-edge
+// detection, merging loops that share a header and linking nesting parents.
+// Loops are returned innermost-last within each nest, outermost headers in
+// block order.
+func FindLoops(f *Func, dt *DomTree) []*Loop {
+	byHeader := make(map[*Block]*Loop)
+	var headers []*Block
+	for _, b := range dt.RPO() {
+		for _, s := range b.Succs() {
+			if dt.Dominates(s, b) {
+				// Back edge b -> s.
+				l, ok := byHeader[s]
+				if !ok {
+					l = &Loop{Header: s}
+					byHeader[s] = l
+					headers = append(headers, s)
+				}
+				l.Latches = append(l.Latches, b)
+			}
+		}
+	}
+	// Populate bodies: reverse reachability from latches without passing
+	// through the header.
+	for _, h := range headers {
+		l := byHeader[h]
+		inBody := map[*Block]bool{h: true}
+		var stack []*Block
+		for _, latch := range l.Latches {
+			if !inBody[latch] {
+				inBody[latch] = true
+				stack = append(stack, latch)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range b.Preds() {
+				if !inBody[p] {
+					inBody[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		// Keep function block order for determinism.
+		for _, b := range f.Blocks {
+			if inBody[b] {
+				l.Body = append(l.Body, b)
+			}
+		}
+	}
+	// Nesting: loop A is nested in B if B != A and B contains A's header.
+	loops := make([]*Loop, 0, len(headers))
+	for _, h := range headers {
+		loops = append(loops, byHeader[h])
+	}
+	for _, l := range loops {
+		var best *Loop
+		for _, o := range loops {
+			if o == l || !o.Contains(l.Header) {
+				continue
+			}
+			if best == nil || len(o.Body) < len(best.Body) {
+				best = o
+			}
+		}
+		l.Parent = best
+	}
+	for _, l := range loops {
+		d := 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			d++
+		}
+		l.Depth = d
+	}
+	return loops
+}
+
+// CriticalEdges returns the critical edges of f: edges whose source has
+// multiple successors and whose destination has multiple predecessor edges.
+func CriticalEdges(f *Func) [][2]*Block {
+	var edges [][2]*Block
+	for _, b := range f.Blocks {
+		succs := b.Succs()
+		if len(succs) < 2 {
+			continue
+		}
+		for _, s := range succs {
+			if s.NumPredEdges() > 1 {
+				edges = append(edges, [2]*Block{b, s})
+			}
+		}
+	}
+	return edges
+}
+
+// SplitEdge inserts a fresh block on the edge from -> to, rewriting the
+// branch target and any phis in to. It returns the new block.
+func SplitEdge(f *Func, from, to *Block, name string) *Block {
+	nb := &Block{Name: name, parent: f}
+	f.AddBlockAfter(nb, from)
+	nb.Append(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{to}})
+	from.Term().ReplaceTarget(to, nb)
+	for _, phi := range to.Phis() {
+		for i, pb := range phi.Blocks {
+			if pb == from {
+				phi.Blocks[i] = nb
+			}
+		}
+	}
+	return nb
+}

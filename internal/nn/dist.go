@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Softmax returns the softmax of logits (numerically stabilized).
+func Softmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	p := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		p[i] = e
+		sum += e
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return p
+}
+
+// LogSoftmax returns log probabilities.
+func LogSoftmax(logits []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(v - maxv)
+	}
+	lse := maxv + math.Log(sum)
+	out := make([]float64, len(logits))
+	for i, v := range logits {
+		out[i] = v - lse
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the distribution given by probs.
+func SampleCategorical(rng *rand.Rand, probs []float64) int {
+	u := rng.Float64()
+	var c float64
+	for i, p := range probs {
+		c += p
+		if u < c {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the maximum element.
+func Argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// Entropy computes the Shannon entropy of a probability vector.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, x := range p {
+		if x > 1e-12 {
+			h -= x * math.Log(x)
+		}
+	}
+	return h
+}
+
+// CategoricalGrad returns dL/dlogits for L = -coef*logp[action] (policy
+// gradient through a softmax): grad = coef * (softmax - onehot(action)).
+func CategoricalGrad(logits []float64, action int, coef float64) []float64 {
+	p := Softmax(logits)
+	g := make([]float64, len(p))
+	for i := range p {
+		g[i] = coef * p[i]
+	}
+	g[action] -= coef
+	return g
+}
+
+// EntropyGrad returns dH/dlogits for the softmax entropy H (ascending):
+// dH/dlogit_i = -p_i * (log p_i + H)... negated by the caller as needed.
+func EntropyGrad(logits []float64) []float64 {
+	p := Softmax(logits)
+	h := Entropy(p)
+	g := make([]float64, len(p))
+	for i := range p {
+		lp := math.Log(math.Max(p[i], 1e-12))
+		g[i] = -p[i] * (lp + h)
+	}
+	return g
+}

@@ -1,0 +1,248 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestGradientCheck verifies backprop against finite differences for a
+// scalar loss L = sum(y) on a two-hidden-layer net.
+func TestGradientCheck(t *testing.T) {
+	for _, act := range []Activation{ReLU, Tanh} {
+		rng := rand.New(rand.NewSource(1))
+		m := NewMLP(rng, act, 5, 7, 6, 3)
+		x := make([]float64, 5)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		gradOut := []float64{1, 1, 1}
+		g := m.NewGrads()
+		m.Backward(x, gradOut, g)
+
+		loss := func() float64 {
+			y := m.Forward(x)
+			var s float64
+			for _, v := range y {
+				s += v
+			}
+			return s
+		}
+		const eps = 1e-6
+		checked := 0
+		for l := range m.W {
+			for i := 0; i < len(m.W[l]); i += 7 {
+				old := m.W[l][i]
+				m.W[l][i] = old + eps
+				lp := loss()
+				m.W[l][i] = old - eps
+				lm := loss()
+				m.W[l][i] = old
+				num := (lp - lm) / (2 * eps)
+				if math.Abs(num-g.W[l][i]) > 1e-4*(1+math.Abs(num)) {
+					t.Fatalf("act=%v layer %d w[%d]: analytic %g numeric %g", act, l, i, g.W[l][i], num)
+				}
+				checked++
+			}
+		}
+		if checked < 10 {
+			t.Fatal("gradient check covered too few weights")
+		}
+	}
+}
+
+func TestGradientCheckInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := NewMLP(rng, Tanh, 4, 8, 2)
+	x := []float64{0.3, -0.2, 0.9, 0.05}
+	g := m.NewGrads()
+	dx := m.Backward(x, []float64{1, 1}, g)
+	const eps = 1e-6
+	for i := range x {
+		old := x[i]
+		x[i] = old + eps
+		yp := m.Forward(x)
+		x[i] = old - eps
+		ym := m.Forward(x)
+		x[i] = old
+		num := (yp[0] + yp[1] - ym[0] - ym[1]) / (2 * eps)
+		if math.Abs(num-dx[i]) > 1e-5*(1+math.Abs(num)) {
+			t.Fatalf("input grad %d: analytic %g numeric %g", i, dx[i], num)
+		}
+	}
+}
+
+func TestSoftmaxProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		logits := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			logits = append(logits, math.Mod(v, 50))
+		}
+		p := Softmax(logits)
+		var sum float64
+		for _, x := range p {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				return false
+			}
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		lp := LogSoftmax(logits)
+		for i := range p {
+			if p[i] > 1e-12 && math.Abs(math.Exp(lp[i])-p[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCategoricalGradDirection(t *testing.T) {
+	// Descending the policy-gradient loss for positive coef should raise
+	// the chosen action's probability... with coef = -advantage; check the
+	// finite-difference consistency instead: L = -coef*logp[a].
+	logits := []float64{0.1, -0.5, 1.2}
+	a := 1
+	coef := 0.7
+	g := CategoricalGrad(logits, a, coef)
+	const eps = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lm := append([]float64(nil), logits...)
+		lp[i] += eps
+		lm[i] -= eps
+		num := (-coef*LogSoftmax(lp)[a] + coef*LogSoftmax(lm)[a]) / (2 * eps)
+		if math.Abs(num-g[i]) > 1e-6 {
+			t.Fatalf("grad %d: analytic %g numeric %g", i, g[i], num)
+		}
+	}
+}
+
+func TestEntropyGrad(t *testing.T) {
+	logits := []float64{0.3, -1.1, 0.8, 0.0}
+	g := EntropyGrad(logits)
+	const eps = 1e-6
+	for i := range logits {
+		lp := append([]float64(nil), logits...)
+		lm := append([]float64(nil), logits...)
+		lp[i] += eps
+		lm[i] -= eps
+		num := (Entropy(Softmax(lp)) - Entropy(Softmax(lm))) / (2 * eps)
+		if math.Abs(num-g[i]) > 1e-6 {
+			t.Fatalf("entropy grad %d: analytic %g numeric %g", i, g[i], num)
+		}
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewMLP(rng, ReLU, 3, 16, 1)
+	opt := NewAdam(m, 1e-2)
+	target := func(x []float64) float64 { return 2*x[0] - x[1] + 0.5*x[2] }
+	loss := func() float64 {
+		var s float64
+		r := rand.New(rand.NewSource(7))
+		for k := 0; k < 32; k++ {
+			x := []float64{r.Float64(), r.Float64(), r.Float64()}
+			d := m.Forward(x)[0] - target(x)
+			s += d * d
+		}
+		return s / 32
+	}
+	before := loss()
+	r := rand.New(rand.NewSource(7))
+	for step := 0; step < 300; step++ {
+		g := m.NewGrads()
+		for k := 0; k < 32; k++ {
+			x := []float64{r.Float64(), r.Float64(), r.Float64()}
+			d := m.Forward(x)[0] - target(x)
+			m.Backward(x, []float64{2 * d / 32}, g)
+		}
+		opt.Step(m, g)
+	}
+	after := loss()
+	if after > before/10 {
+		t.Fatalf("Adam failed to fit linear target: before=%g after=%g", before, after)
+	}
+}
+
+func TestSampleCategoricalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := []float64{0.2, 0.5, 0.3}
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		a := SampleCategorical(rng, p)
+		if a < 0 || a > 2 {
+			t.Fatalf("out of range sample %d", a)
+		}
+		counts[a]++
+	}
+	if counts[1] < counts[0] || counts[1] < counts[2] {
+		t.Fatalf("sampling ignores probabilities: %v", counts)
+	}
+}
+
+func TestCloneAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := NewMLP(rng, Tanh, 4, 5, 2)
+	c := m.Clone()
+	eps := make([]float64, m.NumParams())
+	for i := range eps {
+		eps[i] = 1
+	}
+	c.AddNoise(eps, 0.01)
+	diff := 0.0
+	for l := range m.W {
+		for i := range m.W[l] {
+			diff += math.Abs(c.W[l][i] - m.W[l][i])
+		}
+	}
+	if diff == 0 {
+		t.Fatal("AddNoise changed nothing")
+	}
+	x := []float64{1, 2, 3, 4}
+	y0 := m.Forward(x)
+	c.CopyFrom(m)
+	y1 := c.Forward(x)
+	for i := range y0 {
+		if y0[i] != y1[i] {
+			t.Fatal("CopyFrom did not restore parameters")
+		}
+	}
+}
+
+func TestMLPJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := NewMLP(rng, Tanh, 3, 8, 2)
+	data, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 MLP
+	if err := m2.UnmarshalJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.3, -1, 2}
+	a, b := m.Forward(x), m2.Forward(x)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("serialized net computes differently")
+		}
+	}
+	// Shape validation.
+	if err := m2.UnmarshalJSON([]byte(`{"sizes":[3,2],"act":0,"w":[[1]],"b":[[1,2]]}`)); err == nil {
+		t.Fatal("accepted malformed weights")
+	}
+}

@@ -1,0 +1,82 @@
+package nn
+
+import "math"
+
+// Adam is the Adam optimizer over an MLP's parameters.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Eps     float64
+	mW, vW  [][]float64
+	mB, vB  [][]float64
+	t       int
+	MaxNorm float64 // optional global gradient-norm clip; 0 disables
+}
+
+// NewAdam returns an Adam optimizer bound to m's shapes.
+func NewAdam(m *MLP, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for l := range m.W {
+		a.mW = append(a.mW, make([]float64, len(m.W[l])))
+		a.vW = append(a.vW, make([]float64, len(m.W[l])))
+		a.mB = append(a.mB, make([]float64, len(m.B[l])))
+		a.vB = append(a.vB, make([]float64, len(m.B[l])))
+	}
+	return a
+}
+
+// Step applies one Adam update of m against gradients g (descending).
+func (a *Adam) Step(m *MLP, g *Grads) {
+	if a.MaxNorm > 0 {
+		clipGrads(g, a.MaxNorm)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l := range m.W {
+		adamUpdate(m.W[l], g.W[l], a.mW[l], a.vW[l], a, bc1, bc2)
+		adamUpdate(m.B[l], g.B[l], a.mB[l], a.vB[l], a, bc1, bc2)
+	}
+}
+
+func adamUpdate(p, g, mm, vv []float64, a *Adam, bc1, bc2 float64) {
+	for i := range p {
+		mm[i] = a.Beta1*mm[i] + (1-a.Beta1)*g[i]
+		vv[i] = a.Beta2*vv[i] + (1-a.Beta2)*g[i]*g[i]
+		mh := mm[i] / bc1
+		vh := vv[i] / bc2
+		p[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+	}
+}
+
+func clipGrads(g *Grads, maxNorm float64) {
+	var sq float64
+	for l := range g.W {
+		for _, v := range g.W[l] {
+			sq += v * v
+		}
+		for _, v := range g.B[l] {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		g.Scale(maxNorm / norm)
+	}
+}
+
+// SGD applies plain gradient descent (used by the ES meta-update).
+type SGD struct{ LR float64 }
+
+// Step applies one SGD update (descending).
+func (s SGD) Step(m *MLP, g *Grads) {
+	for l := range m.W {
+		for i := range m.W[l] {
+			m.W[l][i] -= s.LR * g.W[l][i]
+		}
+		for i := range m.B[l] {
+			m.B[l][i] -= s.LR * g.B[l][i]
+		}
+	}
+}

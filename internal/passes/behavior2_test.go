@@ -1,0 +1,378 @@
+package passes_test
+
+import (
+	"testing"
+
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/progen"
+)
+
+// TestMemcpyOptRemovesRoundTrips: store(load p) -> p is a no-op.
+func TestMemcpyOptRemovesRoundTrips(t *testing.T) {
+	m := ir.NewModule("mco")
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	al := b.Alloca(ir.I32)
+	b.Store(ir.ConstInt(ir.I32, 9), al)
+	v := b.Load(al)
+	b.Store(v, al) // round trip
+	b.Ret(b.Load(al))
+	stores0 := countOp(m, ir.OpStore)
+	apply(t, m, "memcpyopt")
+	if got := countOp(m, ir.OpStore); got != stores0-1 {
+		t.Fatalf("memcpyopt stores: %d -> %d", stores0, got)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 9 {
+		t.Fatalf("exit %d", res.Exit)
+	}
+}
+
+// TestSinkMovesWorkOffTheColdPath: a pure computation used only in one
+// branch arm moves into it.
+func TestSinkMovesWorkOffTheColdPath(t *testing.T) {
+	m := ir.NewModule("sink")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	hot := f.NewBlock("hot")
+	cold := f.NewBlock("cold")
+	b.SetInsert(entry)
+	expensive := b.Mul(f.Params[0], f.Params[0])
+	cond := b.ICmp(ir.CmpSGT, f.Params[0], ir.ConstInt(ir.I32, 0))
+	b.CondBr(cond, hot, cold)
+	b.SetInsert(hot)
+	b.Ret(ir.ConstInt(ir.I32, 1))
+	b.SetInsert(cold)
+	b.Ret(expensive)
+
+	apply(t, m, "sink")
+	// The mul must now live in the cold block.
+	foundInCold := false
+	for _, in := range m.Func("main").Blocks[2].Instrs {
+		if in.Op == ir.OpMul {
+			foundInCold = true
+		}
+	}
+	if !foundInCold {
+		t.Fatal("sink left the multiply on the shared path")
+	}
+}
+
+// TestCorrelatedPropagation: on the eq-true edge, the compared value is the
+// constant.
+func TestCorrelatedPropagation(t *testing.T) {
+	m := ir.NewModule("corr")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	eq := f.NewBlock("eq")
+	ne := f.NewBlock("ne")
+	b.SetInsert(entry)
+	cond := b.ICmp(ir.CmpEQ, f.Params[0], ir.ConstInt(ir.I32, 7))
+	b.CondBr(cond, eq, ne)
+	b.SetInsert(eq)
+	// x is known to be 7 here; x+1 should fold to 8 after the pass.
+	b.Ret(b.Add(f.Params[0], ir.ConstInt(ir.I32, 1)))
+	b.SetInsert(ne)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	apply(t, m, "correlated-propagation")
+	ret := m.Func("main").Blocks[1].Term()
+	if c, ok := ir.IsConst(ret.Args[0]); !ok || c != 8 {
+		t.Fatalf("eq-edge use not propagated: ret %v", ret.Args[0].Ref())
+	}
+}
+
+// TestConstMergeDeduplicatesROMs.
+func TestConstMergeDeduplicatesROMs(t *testing.T) {
+	m := ir.NewModule("cm")
+	g1 := m.NewGlobal("a", ir.ArrayOf(ir.I32, 3), []int64{1, 2, 3}, true)
+	g2 := m.NewGlobal("b", ir.ArrayOf(ir.I32, 3), []int64{1, 2, 3}, true)
+	g3 := m.NewGlobal("c", ir.ArrayOf(ir.I32, 3), []int64{9, 9, 9}, true)
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	v := b.Add(b.Load(b.GEP(g1, ir.ConstInt(ir.I32, 0))),
+		b.Add(b.Load(b.GEP(g2, ir.ConstInt(ir.I32, 1))),
+			b.Load(b.GEP(g3, ir.ConstInt(ir.I32, 2)))))
+	b.Ret(v)
+	apply(t, m, "constmerge")
+	if len(m.Globals) != 2 {
+		t.Fatalf("constmerge left %d globals, want 2", len(m.Globals))
+	}
+	res, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || res.Exit != 1+2+9 {
+		t.Fatalf("semantics after merge: %v %v", res.Exit, err)
+	}
+}
+
+// TestGlobalOptFoldsROMLoads: constant-index loads from read-only globals
+// become constants.
+func TestGlobalOptFoldsROMLoads(t *testing.T) {
+	m := ir.NewModule("go")
+	g := m.NewGlobal("rom", ir.ArrayOf(ir.I32, 4), []int64{5, 6, 7, 8}, true)
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	v := b.Load(b.GEP(g, ir.ConstInt(ir.I32, 2)))
+	b.Ret(v)
+	apply(t, m, "globalopt", "instcombine", "globaldce")
+	if countOp(m, ir.OpLoad) != 0 {
+		t.Fatal("globalopt left the ROM load")
+	}
+	if len(m.Globals) != 0 {
+		t.Fatal("unreferenced ROM not collected")
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 7 {
+		t.Fatalf("exit %d", res.Exit)
+	}
+}
+
+// TestIPSCCPPropagatesConstArgs: a parameter receiving the same constant
+// from all call sites becomes that constant.
+func TestIPSCCPPropagatesConstArgs(t *testing.T) {
+	m := ir.NewModule("ipsccp")
+	fe := progen.NewFE(m)
+	h := fe.Begin("h", ir.I32, "k")
+	fe.Ret(fe.Mul(fe.V("k"), fe.C(3)))
+	fe.Begin("main", ir.I32)
+	a := fe.Call(h, fe.C(5))
+	bv := fe.Call(h, fe.C(5))
+	fe.Print(fe.Add(a, bv))
+	fe.Ret(fe.C(0))
+
+	apply(t, m, "mem2reg", "ipsccp", "sccp")
+	// The callee's return should be the constant 15 now.
+	c, ok := constantReturnOf(m.Func("h"))
+	if !ok || c != 15 {
+		t.Fatalf("callee not specialized: %v %v", c, ok)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Trace[0] != 30 {
+		t.Fatalf("trace %v", res.Trace)
+	}
+}
+
+func constantReturnOf(f *ir.Func) (int64, bool) {
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Op == ir.OpRet && len(t.Args) == 1 {
+			return ir.IsConst(t.Args[0])
+		}
+	}
+	return 0, false
+}
+
+// TestReassociateFoldsConstantChains: (x+1)+2)+3 becomes x+6.
+func TestReassociateFoldsConstantChains(t *testing.T) {
+	m := ir.NewModule("re")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	v := b.Add(b.Add(b.Add(f.Params[0], ir.ConstInt(ir.I32, 1)),
+		ir.ConstInt(ir.I32, 2)), ir.ConstInt(ir.I32, 3))
+	b.Ret(v)
+	apply(t, m, "reassociate")
+	if n := countOp(m, ir.OpAdd); n != 1 {
+		t.Fatalf("reassociate left %d adds, want 1", n)
+	}
+}
+
+// TestJumpThreadingSkipsDecidedBlocks: a phi-of-constants condition lets
+// predecessors jump straight to their targets.
+func TestJumpThreading(t *testing.T) {
+	m := ir.NewModule("jt")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	check := f.NewBlock("check")
+	yes := f.NewBlock("yes")
+	no := f.NewBlock("no")
+
+	b.SetInsert(entry)
+	c0 := b.ICmp(ir.CmpSGT, f.Params[0], ir.ConstInt(ir.I32, 0))
+	b.CondBr(c0, left, right)
+	b.SetInsert(left)
+	b.Br(check)
+	b.SetInsert(right)
+	b.Br(check)
+	b.SetInsert(check)
+	phi := b.Phi(ir.I1)
+	phi.SetPhiIncoming(left, ir.ConstInt(ir.I1, 1))
+	phi.SetPhiIncoming(right, ir.ConstInt(ir.I1, 0))
+	b.CondBr(phi, yes, no)
+	b.SetInsert(yes)
+	b.Ret(ir.ConstInt(ir.I32, 100))
+	b.SetInsert(no)
+	b.Ret(ir.ConstInt(ir.I32, 200))
+
+	before, _ := interp.Run(m.Clone(), interp.DefaultLimits)
+	apply(t, m, "jump-threading", "simplifycfg")
+	after, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || before.Exit != after.Exit {
+		t.Fatalf("threading broke semantics: %v vs %v (%v)", before.Exit, after.Exit, err)
+	}
+	// The check block (and its phi) must be gone.
+	if countOp(m, ir.OpPhi) != 0 {
+		t.Fatal("jump-threading left the deciding phi")
+	}
+}
+
+// TestLCSSAInsertsExitPhis.
+func TestLCSSAInsertsExitPhis(t *testing.T) {
+	m := ir.NewModule("lcssa")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Var("acc", 0)
+	fe.For("i", 0, 5, 1, func(iv func() ir.Value) {
+		fe.Set("acc", fe.Add(fe.V("acc"), iv()))
+	})
+	fe.Ret(fe.V("acc"))
+	apply(t, m, "mem2reg")
+	phis0 := countOp(m, ir.OpPhi)
+	apply(t, m, "loop-simplify", "lcssa")
+	if got := countOp(m, ir.OpPhi); got <= phis0 {
+		t.Fatalf("lcssa inserted no exit phis: %d -> %d", phis0, got)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 10 {
+		t.Fatalf("exit %d", res.Exit)
+	}
+}
+
+// TestPartialInlinerOnlySingleBlockCallees.
+func TestPartialInliner(t *testing.T) {
+	m := ir.NewModule("pi")
+	fe := progen.NewFE(m)
+	small := fe.Begin("small", ir.I32, "x")
+	fe.Ret(fe.Add(fe.V("x"), fe.C(1)))
+	big := fe.Begin("big", ir.I32, "x")
+	fe.If(fe.Cmp(ir.CmpSGT, fe.V("x"), fe.C(0)), func() {
+		fe.Set("x", fe.Mul(fe.V("x"), fe.C(2)))
+	}, nil)
+	fe.Ret(fe.V("x"))
+	fe.Begin("main", ir.I32)
+	fe.Print(fe.Add(fe.Call(small, fe.C(1)), fe.Call(big, fe.C(2))))
+	fe.Ret(fe.C(0))
+
+	// small has one block only after promotion? It has allocas+entry: one
+	// block. big has branches: multiple blocks.
+	apply(t, m, "partial-inliner")
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee.Name == "small" {
+				t.Fatal("partial inliner skipped the single-block callee")
+			}
+		}
+	}
+	callsBig := 0
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee.Name == "big" {
+				callsBig++
+			}
+		}
+	}
+	if callsBig != 1 {
+		t.Fatalf("partial inliner touched the multi-block callee: %d calls", callsBig)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Trace[0] != 2+4 {
+		t.Fatalf("trace %v", res.Trace)
+	}
+}
+
+// TestCodegenPrepareSinksAddressMath: a GEP with a single use in another
+// block moves next to that use.
+func TestCodegenPrepareSinksAddressMath(t *testing.T) {
+	m := ir.NewModule("cgp")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	use := f.NewBlock("use")
+	skip := f.NewBlock("skip")
+	b.SetInsert(entry)
+	arr := b.Alloca(ir.ArrayOf(ir.I32, 8))
+	gep := b.GEP(arr, ir.ConstInt(ir.I32, 3))
+	cond := b.ICmp(ir.CmpSGT, f.Params[0], ir.ConstInt(ir.I32, 0))
+	b.CondBr(cond, use, skip)
+	b.SetInsert(use)
+	b.Ret(b.Load(gep))
+	b.SetInsert(skip)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	apply(t, m, "codegenprepare")
+	inUse := false
+	for _, in := range m.Func("main").Blocks[1].Instrs {
+		if in.Op == ir.OpGEP {
+			inUse = true
+		}
+	}
+	if !inUse {
+		t.Fatal("codegenprepare did not sink the GEP to its use")
+	}
+}
+
+// TestAdceRemovesDeadPhiCycles: two phis feeding only each other die under
+// adce even though their use counts are non-zero.
+func TestAdceRemovesDeadPhiCycles(t *testing.T) {
+	m := ir.NewModule("adce")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Var("dead", 1)
+	fe.Var("live", 0)
+	fe.For("i", 0, 6, 1, func(iv func() ir.Value) {
+		fe.Set("dead", fe.Add(fe.V("dead"), fe.V("dead"))) // self-feeding
+		fe.Set("live", fe.Add(fe.V("live"), iv()))
+	})
+	fe.Ret(fe.V("live"))
+	apply(t, m, "mem2reg")
+	adds0 := countOp(m, ir.OpAdd)
+	apply(t, m, "adce")
+	if got := countOp(m, ir.OpAdd); got >= adds0 {
+		t.Fatalf("adce removed nothing: %d -> %d adds", adds0, got)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 15 {
+		t.Fatalf("exit %d", res.Exit)
+	}
+}
+
+// TestLoopUnswitchSplitsOnInvariantBranch (structure-level check on a
+// hand-built loop; the cycle-level check lives in behavior_test.go).
+func TestLoopUnswitchStructure(t *testing.T) {
+	m := ir.NewModule("unsw2")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32, "mode")
+	fe.Arr("a", 16)
+	fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+		fe.If(fe.Cmp(ir.CmpSGT, fe.V("mode"), fe.C(0)), func() {
+			fe.Put("a", iv(), iv())
+		}, func() {
+			fe.Put("a", iv(), fe.C(0))
+		})
+	})
+	fe.Var("s", 0)
+	fe.For("k", 0, 16, 1, func(kv func() ir.Value) {
+		fe.Set("s", fe.Add(fe.V("s"), fe.Get("a", kv())))
+	})
+	fe.Ret(fe.V("s"))
+
+	// licm must hoist the invariant compare out of the loop before
+	// unswitch can see an invariant branch condition — the enabling
+	// dependency LLVM's pipeline encodes by running licm first.
+	apply(t, m, "mem2reg", "licm")
+	blocks0 := len(m.Func("main").Blocks)
+	apply(t, m, "loop-unswitch")
+	if got := len(m.Func("main").Blocks); got <= blocks0 {
+		t.Fatalf("unswitch cloned nothing: %d -> %d blocks", blocks0, got)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,494 @@
+package passes_test
+
+import (
+	"testing"
+
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// countOp counts instructions with the given opcode across the module.
+func countOp(m *ir.Module, op ir.Op) int {
+	n := 0
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == op {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}
+
+func apply(t *testing.T, m *ir.Module, names ...string) {
+	t.Helper()
+	for _, n := range names {
+		p, err := passes.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Run(m)
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("verify after %v: %v", names, err)
+	}
+}
+
+func cyclesOf(t *testing.T, m *ir.Module) int64 {
+	t.Helper()
+	rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Cycles
+}
+
+// TestMem2RegPromotesScalars: after mem2reg, the -O0-shaped benchmarks keep
+// only their array allocas; scalar loads/stores disappear.
+func TestMem2RegPromotesScalars(t *testing.T) {
+	m := progen.Benchmark("gsm")
+	loads0 := countOp(m, ir.OpLoad)
+	apply(t, m, "mem2reg")
+	if got := countOp(m, ir.OpLoad); got >= loads0/2 {
+		t.Fatalf("mem2reg barely reduced loads: %d -> %d", loads0, got)
+	}
+	// Scalar allocas must be gone; array allocas remain.
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == ir.OpAlloca && in.AllocTy.Kind != ir.ArrayKind {
+					t.Fatalf("scalar alloca %s survived mem2reg", in.Ref())
+				}
+			}
+		}
+	}
+	if countOp(m, ir.OpPhi) == 0 {
+		t.Fatal("mem2reg inserted no phis on a loopy program")
+	}
+}
+
+// TestSroaSplitsConstIndexedArrays: a fixed-index array becomes scalars.
+func TestSroaSplitsConstIndexedArrays(t *testing.T) {
+	m := ir.NewModule("sroa")
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	arr := b.Alloca(ir.ArrayOf(ir.I32, 4))
+	for i := int64(0); i < 4; i++ {
+		b.Store(ir.ConstInt(ir.I32, i*3), b.GEP(arr, ir.ConstInt(ir.I32, i)))
+	}
+	v := b.Add(b.Load(b.GEP(arr, ir.ConstInt(ir.I32, 1))),
+		b.Load(b.GEP(arr, ir.ConstInt(ir.I32, 3))))
+	b.Print(v)
+	b.Ret(v)
+
+	res0, _ := interp.Run(m.Clone(), interp.DefaultLimits)
+	apply(t, m, "sroa", "instcombine")
+	res1, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || res0.Exit != res1.Exit {
+		t.Fatalf("sroa broke semantics: %v vs %v (%v)", res0.Exit, res1.Exit, err)
+	}
+	if n := countOp(m, ir.OpAlloca); n != 0 {
+		t.Fatalf("%d allocas survived sroa on a fully const-indexed array", n)
+	}
+	if n := countOp(m, ir.OpGEP); n != 0 {
+		t.Fatalf("%d geps survived sroa", n)
+	}
+}
+
+// TestSCCPFoldsConditionals: a branch on a constant-foldable condition
+// disappears after sccp + simplifycfg.
+func TestSCCPThenSimplifyCFG(t *testing.T) {
+	m := ir.NewModule("sccp")
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	entry := f.NewBlock("entry")
+	dead := f.NewBlock("dead")
+	live := f.NewBlock("live")
+	b.SetInsert(entry)
+	x := b.Add(ir.ConstInt(ir.I32, 2), ir.ConstInt(ir.I32, 2))
+	cond := b.ICmp(ir.CmpEQ, x, ir.ConstInt(ir.I32, 5))
+	b.CondBr(cond, dead, live)
+	b.SetInsert(dead)
+	b.Ret(ir.ConstInt(ir.I32, 111))
+	b.SetInsert(live)
+	b.Ret(ir.ConstInt(ir.I32, 222))
+
+	apply(t, m, "sccp", "simplifycfg")
+	if len(m.Func("main").Blocks) != 1 {
+		t.Fatalf("dead branch not removed: %d blocks remain", len(m.Func("main").Blocks))
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 222 {
+		t.Fatalf("wrong survivor: %d", res.Exit)
+	}
+}
+
+// TestLoopRotateEnablesUnroll: unroll alone does nothing on a while-loop;
+// after rotation (and mem2reg) the counted loop fully unrolls — the
+// paper's flagship pass-ordering dependency.
+func TestLoopRotateEnablesUnroll(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("ru")
+		fe := progen.NewFE(m)
+		fe.Begin("main", ir.I32)
+		fe.Var("acc", 0)
+		fe.For("i", 0, 8, 1, func(iv func() ir.Value) {
+			fe.Set("acc", fe.Add(fe.V("acc"), iv()))
+		})
+		fe.Print(fe.V("acc"))
+		fe.Ret(fe.V("acc"))
+		return m
+	}
+	// Without rotate: loop remains.
+	m1 := build()
+	apply(t, m1, "mem2reg", "loop-unroll")
+	if countOp(m1, ir.OpPhi) == 0 {
+		t.Fatal("unroll should not fire on an unrotated while loop")
+	}
+	// With rotate first: fully unrolled, loop structure gone.
+	m2 := build()
+	apply(t, m2, "mem2reg", "loop-rotate", "loop-unroll", "instcombine", "simplifycfg")
+	dt := ir.NewDomTree(m2.Func("main"))
+	if loops := ir.FindLoops(m2.Func("main"), dt); len(loops) != 0 {
+		t.Fatalf("loop survived rotate+unroll: %d loops", len(loops))
+	}
+	res, err := interp.Run(m2, interp.DefaultLimits)
+	if err != nil || res.Exit != 28 { // 0+1+...+7
+		t.Fatalf("unrolled result wrong: %v %v", res.Exit, err)
+	}
+	if c1, c2 := cyclesOf(t, m1), cyclesOf(t, m2); c2 >= c1 {
+		t.Fatalf("unrolling did not reduce cycles: %d -> %d", c1, c2)
+	}
+}
+
+// TestLICMRequiresFunctionAttrs: the mag()-style hoist fires only once
+// functionattrs has certified the callee.
+func TestLICMRequiresFunctionAttrs(t *testing.T) {
+	build := func() *ir.Module {
+		m := ir.NewModule("licm")
+		fe := progen.NewFE(m)
+		helper := fe.Begin("pure", ir.I32, "x")
+		fe.Ret(fe.Mul(fe.V("x"), fe.V("x")))
+		fe.Begin("main", ir.I32)
+		fe.Var("acc", 0)
+		fe.For("i", 0, 10, 1, func(iv func() ir.Value) {
+			fe.Set("acc", fe.Add(fe.V("acc"), fe.Call(helper, fe.C(7))))
+		})
+		fe.Print(fe.V("acc"))
+		fe.Ret(fe.V("acc"))
+		return m
+	}
+	inLoop := func(m *ir.Module) bool {
+		f := m.Func("main")
+		dt := ir.NewDomTree(f)
+		for _, l := range ir.FindLoops(f, dt) {
+			for _, b := range l.Body {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpCall {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	m1 := build()
+	apply(t, m1, "mem2reg", "loop-simplify", "licm")
+	if !inLoop(m1) {
+		t.Fatal("licm hoisted an uncertified call")
+	}
+	m2 := build()
+	apply(t, m2, "mem2reg", "loop-simplify", "functionattrs", "licm")
+	if inLoop(m2) {
+		t.Fatal("licm failed to hoist a certified pure call")
+	}
+}
+
+// TestInlineEliminatesCalls: small callees disappear; globaldce collects
+// the corpse.
+func TestInlineThenGlobalDCE(t *testing.T) {
+	m := progen.Benchmark("blowfish") // calls F() 16x24 times
+	if countOp(m, ir.OpCall) == 0 {
+		t.Fatal("benchmark has no calls")
+	}
+	apply(t, m, "inline")
+	if countOp(m, ir.OpCall) != 0 {
+		t.Fatalf("%d calls survived inlining", countOp(m, ir.OpCall))
+	}
+	if len(m.Funcs) != 2 {
+		t.Fatalf("expected F to linger until globaldce, have %d funcs", len(m.Funcs))
+	}
+	apply(t, m, "globaldce")
+	if len(m.Funcs) != 1 {
+		t.Fatalf("globaldce kept %d functions", len(m.Funcs))
+	}
+}
+
+// TestTailCallElim turns self-recursion into a loop.
+func TestTailCallElim(t *testing.T) {
+	m := ir.NewModule("tce")
+	fe := progen.NewFE(m)
+	f := fe.Begin("count", ir.I32, "n")
+	fe.If(fe.Cmp(ir.CmpSLE, fe.V("n"), fe.C(0)), func() {
+		fe.Ret(fe.C(0))
+	}, nil)
+	r := fe.Call(f, fe.Sub(fe.V("n"), fe.C(1)))
+	fe.Ret(r)
+	fe.Begin("main", ir.I32)
+	fe.Print(fe.Call(f, fe.C(100)))
+	fe.Ret(fe.C(0))
+
+	// Depth 100 > a depth-16 limit: recursion traps, the loop version runs.
+	lim := interp.Limits{MaxSteps: 1 << 20, MaxDepth: 16, MaxCells: 1 << 16}
+	if _, err := interp.Run(m.Clone(), lim); err == nil {
+		t.Fatal("expected depth exhaustion before tailcallelim")
+	}
+	// The final `ret (call ...)` must be in tail position: our FE puts the
+	// call and ret in the same block already.
+	apply(t, m, "tailcallelim")
+	res, err := interp.Run(m, lim)
+	if err != nil || res.Exit != 0 {
+		t.Fatalf("tailcallelim result: %v %v", res.Exit, err)
+	}
+	// No self-calls remain.
+	cf := m.Func("count")
+	for _, b := range cf.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee == cf {
+				t.Fatal("self-recursive call survived")
+			}
+		}
+	}
+}
+
+// TestDSEKillsOverwrittenStores.
+func TestDSEKillsOverwrittenStores(t *testing.T) {
+	m := ir.NewModule("dse")
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	al := b.Alloca(ir.I32)
+	b.Store(ir.ConstInt(ir.I32, 1), al)
+	b.Store(ir.ConstInt(ir.I32, 2), al) // kills the first
+	v := b.Load(al)
+	b.Ret(v)
+	apply(t, m, "dse")
+	if n := countOp(m, ir.OpStore); n != 1 {
+		t.Fatalf("dse left %d stores, want 1", n)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Exit != 2 {
+		t.Fatalf("dse broke the surviving store: %d", res.Exit)
+	}
+}
+
+// TestLoopIdiomFormsMemset: a zero-fill loop becomes the burst intrinsic
+// after canonicalization.
+func TestLoopIdiomFormsMemset(t *testing.T) {
+	m := ir.NewModule("idiom")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("buf", 32)
+	fe.For("i", 0, 32, 1, func(iv func() ir.Value) {
+		fe.Put("buf", iv(), fe.C(0))
+	})
+	fe.Var("acc", 7)
+	fe.For("k", 0, 32, 1, func(kv func() ir.Value) {
+		fe.Set("acc", fe.Add(fe.V("acc"), fe.Get("buf", kv())))
+	})
+	fe.Print(fe.V("acc"))
+	fe.Ret(fe.V("acc"))
+
+	before := cyclesOf(t, m.Clone())
+	apply(t, m, "mem2reg", "loop-rotate", "simplifycfg", "loop-idiom")
+	if countOp(m, ir.OpMemset) == 0 {
+		t.Fatal("loop-idiom did not form a memset")
+	}
+	after := cyclesOf(t, m)
+	if after >= before {
+		t.Fatalf("memset burst did not pay off: %d -> %d", before, after)
+	}
+	res, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || res.Exit != 7 {
+		t.Fatalf("idiom broke semantics: %v %v", res.Exit, err)
+	}
+}
+
+// TestIndvarsEnablesLoopDeletion: exit-value rewriting makes a pure loop
+// dead, then loop-deletion removes it.
+func TestIndvarsEnablesLoopDeletion(t *testing.T) {
+	m := ir.NewModule("ldel")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.For("i", 0, 50, 1, func(iv func() ir.Value) {})
+	fe.Print(fe.V("i")) // uses only the final IV value
+	fe.Ret(fe.C(0))
+
+	apply(t, m, "mem2reg", "loop-rotate", "indvars", "loop-deletion", "simplifycfg")
+	f := m.Func("main")
+	dt := ir.NewDomTree(f)
+	if loops := ir.FindLoops(f, dt); len(loops) != 0 {
+		t.Fatalf("pure loop survived indvars+deletion")
+	}
+	res, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || len(res.Trace) != 1 || res.Trace[0] != 50 {
+		t.Fatalf("exit value wrong after deletion: %v %v", res.Trace, err)
+	}
+}
+
+// TestLoopReduceRemovesMuls: strength reduction trades a loop multiply for
+// an add, which is cheaper in the delay model.
+func TestLoopReduceRemovesMuls(t *testing.T) {
+	m := ir.NewModule("lsr")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("a", 64)
+	fe.Var("acc", 0)
+	fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+		fe.Put("a", fe.And(fe.Mul(iv(), fe.C(3)), fe.C(63)), iv())
+	})
+	fe.Print(fe.V("acc"))
+	fe.Ret(fe.C(0))
+
+	apply(t, m, "mem2reg", "loop-simplify")
+	muls := countOp(m, ir.OpMul)
+	apply(t, m, "loop-reduce")
+	if got := countOp(m, ir.OpMul); got >= muls {
+		t.Fatalf("loop-reduce removed no multiplies: %d -> %d", muls, got)
+	}
+}
+
+// TestGVNDeduplicatesPureCalls: two identical calls to a readnone function
+// collapse after functionattrs+gvn.
+func TestGVNDeduplicatesPureCalls(t *testing.T) {
+	m := ir.NewModule("gvncall")
+	fe := progen.NewFE(m)
+	h := fe.Begin("pure", ir.I32, "x")
+	fe.Ret(fe.Add(fe.Mul(fe.V("x"), fe.V("x")), fe.C(1)))
+	fe.Begin("main", ir.I32)
+	a := fe.Call(h, fe.C(6))
+	b := fe.Call(h, fe.C(6))
+	fe.Print(fe.Add(a, b))
+	fe.Ret(fe.C(0))
+
+	apply(t, m, "mem2reg", "functionattrs", "gvn")
+	if n := countOp(m, ir.OpCall); n != 1 {
+		t.Fatalf("gvn left %d duplicate pure calls", n)
+	}
+	res, _ := interp.Run(m, interp.DefaultLimits)
+	if res.Trace[0] != 74 { // 2*(36+1)
+		t.Fatalf("wrong value after call CSE: %v", res.Trace)
+	}
+}
+
+// TestLowerSwitchRemovesSwitches.
+func TestLowerSwitch(t *testing.T) {
+	m := progen.Benchmark("sha") // has a round-function switch
+	if countOp(m, ir.OpSwitch) == 0 {
+		t.Skip("benchmark lost its switch")
+	}
+	apply(t, m, "lowerswitch")
+	if countOp(m, ir.OpSwitch) != 0 {
+		t.Fatal("switches survived lowerswitch")
+	}
+}
+
+// TestStripClearsNames.
+func TestStripClearsNames(t *testing.T) {
+	m := progen.Benchmark("adpcm")
+	apply(t, m, "strip")
+	for _, f := range m.Funcs {
+		if !f.Attrs.Stripped {
+			t.Fatal("strip did not mark functions")
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Name != "" {
+					t.Fatal("instruction name survived strip")
+				}
+			}
+		}
+	}
+	// -strip must not change performance.
+	m2 := progen.Benchmark("adpcm")
+	if cyclesOf(t, m) != cyclesOf(t, m2) {
+		t.Fatal("strip changed the cycle count")
+	}
+}
+
+// TestBreakCritEdgesMakesFeature17Zero: after the pass, the critical-edge
+// feature must read zero.
+func TestBreakCritEdges(t *testing.T) {
+	m := progen.Benchmark("dhrystone")
+	apply(t, m, "break-crit-edges")
+	for _, f := range m.Funcs {
+		if ce := ir.CriticalEdges(f); len(ce) != 0 {
+			t.Fatalf("%s still has %d critical edges", f.Name, len(ce))
+		}
+	}
+}
+
+// TestDeadArgElim drops unused parameters interprocedurally.
+func TestDeadArgElim(t *testing.T) {
+	m := ir.NewModule("dae")
+	fe := progen.NewFE(m)
+	h := fe.Begin("f", ir.I32, "used", "unused")
+	fe.Ret(fe.V("used"))
+	fe.Begin("main", ir.I32)
+	fe.Print(fe.Call(h, fe.C(5), fe.C(99)))
+	fe.Ret(fe.C(0))
+
+	// The -O0 param spill keeps "unused" alive via its alloca store; clean
+	// first, as a real pipeline would.
+	apply(t, m, "mem2reg", "deadargelim")
+	if got := len(m.Func("f").Params); got != 1 {
+		t.Fatalf("deadargelim kept %d params", got)
+	}
+	res, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || res.Trace[0] != 5 {
+		t.Fatalf("call broken after deadargelim: %v %v", res.Trace, err)
+	}
+}
+
+// TestUnswitchHoistsInvariantBranch: the loop-invariant conditional moves
+// to the preheader, cutting per-iteration branching.
+func TestUnswitch(t *testing.T) {
+	m := ir.NewModule("unsw")
+	fe := progen.NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Var("mode", 3)
+	fe.Arr("buf", 64)
+	fe.For("i", 0, 64, 1, func(iv func() ir.Value) {
+		fe.If(fe.Cmp(ir.CmpSGT, fe.V("mode"), fe.C(1)), func() {
+			fe.Put("buf", iv(), iv())
+		}, func() {
+			fe.Put("buf", iv(), fe.C(0))
+		})
+	})
+	fe.Var("acc", 0)
+	fe.For("k", 0, 64, 1, func(kv func() ir.Value) {
+		fe.Set("acc", fe.Add(fe.V("acc"), fe.Get("buf", kv())))
+	})
+	fe.Print(fe.V("acc"))
+	fe.Ret(fe.C(0))
+
+	want, _ := interp.Run(m.Clone(), interp.DefaultLimits)
+	before := cyclesOf(t, m.Clone())
+	// mode is a promoted constant-ish value; after mem2reg it is a plain
+	// value defined outside the loop -> invariant condition.
+	apply(t, m, "mem2reg", "loop-simplify", "loop-unswitch", "sccp", "simplifycfg")
+	got, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil || got.Trace[0] != want.Trace[0] {
+		t.Fatalf("unswitch broke semantics: %v vs %v (%v)", got.Trace, want.Trace, err)
+	}
+	after := cyclesOf(t, m)
+	if after >= before {
+		t.Fatalf("unswitch (with const folding) did not help: %d -> %d", before, after)
+	}
+}

@@ -1,0 +1,97 @@
+package passes_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autophase/internal/interp"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// stressLimits leave headroom over the generation filter's limits: passes
+// may legitimately add a few interpreter steps (phi evaluations).
+var stressLimits = interp.Limits{MaxSteps: 16_000_000, MaxDepth: 256, MaxCells: 1 << 22}
+
+// TestStressFuzz hammers pass composition with long random orderings over
+// dozens of random programs and all nine benchmarks — the operating regime
+// of the RL agent.
+func TestStressFuzz(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy fuzz")
+	}
+	rng := rand.New(rand.NewSource(99))
+	seed := int64(1000)
+	fails := 0
+	for p := 0; p < 30; p++ {
+		m, used := progen.GenerateFiltered(seed, progen.DefaultGen)
+		seed = used + 1
+		base, err := interp.Run(m, interp.DefaultLimits)
+		if err != nil {
+			t.Fatalf("seed %d base: %v", used, err)
+		}
+		want := fmt.Sprintf("%d %v", base.Exit, base.Trace)
+		for trial := 0; trial < 6; trial++ {
+			n := 5 + rng.Intn(40)
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = rng.Intn(passes.NumActions)
+			}
+			c := m.Clone()
+			passes.Apply(c, seq)
+			if err := c.Verify(); err != nil {
+				t.Errorf("seed %d seq %v verify: %v", used, seq, err)
+				fails++
+				continue
+			}
+			res, err := interp.Run(c, stressLimits)
+			if err != nil {
+				t.Errorf("seed %d seq %v run: %v", used, seq, err)
+				fails++
+				continue
+			}
+			got := fmt.Sprintf("%d %v", res.Exit, res.Trace)
+			if got != want {
+				t.Errorf("seed %d seq %v semantics changed", used, seq)
+				fails++
+			}
+			if fails > 4 {
+				t.Fatal("too many failures")
+			}
+		}
+	}
+	for _, name := range progen.BenchmarkNames {
+		m := progen.Benchmark(name)
+		base, _ := interp.Run(m, interp.DefaultLimits)
+		want := fmt.Sprintf("%d %v", base.Exit, base.Trace)
+		for trial := 0; trial < 10; trial++ {
+			n := 5 + rng.Intn(45)
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = rng.Intn(passes.NumActions)
+			}
+			c := m.Clone()
+			passes.Apply(c, seq)
+			if err := c.Verify(); err != nil {
+				t.Errorf("%s seq %v verify: %v", name, seq, err)
+				fails++
+				continue
+			}
+			res, err := interp.Run(c, stressLimits)
+			if err != nil {
+				t.Errorf("%s seq %v run: %v", name, seq, err)
+				fails++
+				continue
+			}
+			got := fmt.Sprintf("%d %v", res.Exit, res.Trace)
+			if got != want {
+				t.Errorf("%s seq %v semantics changed", name, seq)
+				fails++
+			}
+			if fails > 4 {
+				t.Fatal("too many failures")
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package passes
+
+import "autophase/internal/ir"
+
+// earlyCSE performs a dominator-tree-scoped common-subexpression
+// elimination sweep with same-block store-to-load forwarding — the cheap
+// clean-up LLVM schedules early and often.
+func earlyCSE(f *ir.Func) bool {
+	changed := domCSE(f)
+	if blockLoadForward(f) {
+		changed = true
+	}
+	if removeTriviallyDead(f) {
+		changed = true
+	}
+	return changed
+}
+
+// gvn is global value numbering: the dominator-scoped CSE iterated to a
+// fixed point together with load forwarding, additionally value-numbering
+// pure (readnone) calls — which is what lets a hoisted or repeated call to
+// a pure function (the paper's mag() example) collapse to one.
+func gvn(f *ir.Func) bool {
+	changed := false
+	for {
+		once := domCSE(f)
+		if blockLoadForward(f) {
+			once = true
+		}
+		if removeTriviallyDead(f) {
+			once = true
+		}
+		if !once {
+			return changed
+		}
+		changed = true
+	}
+}
+
+// domCSE walks the dominator tree keeping a scoped table of available pure
+// expressions; an instruction equal to an available one is replaced by it.
+func domCSE(f *ir.Func) bool {
+	dt := ir.NewDomTree(f)
+	reach := f.ReachableBlocks()
+	children := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		if id := dt.IDom(b); id != nil {
+			children[id] = append(children[id], b)
+		}
+	}
+	avail := make(map[vnKey]*ir.Instr)
+	changed := false
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		var added []vnKey
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			if !numberable(in) {
+				continue
+			}
+			k := keyOf(in)
+			if leader, ok := avail[k]; ok {
+				f.ReplaceAllUses(in, leader)
+				b.Remove(in)
+				changed = true
+				continue
+			}
+			avail[k] = in
+			added = append(added, k)
+		}
+		for _, c := range children[b] {
+			walk(c)
+		}
+		for _, k := range added {
+			delete(avail, k)
+		}
+	}
+	if e := f.Entry(); e != nil {
+		walk(e)
+	}
+	return changed
+}
+
+// blockLoadForward eliminates redundant loads within a block: a load from
+// pointer p can reuse the value of an earlier load or store to p when no
+// store, call or memset intervenes.
+func blockLoadForward(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		avail := make(map[ir.Value]ir.Value) // pointer -> known content
+		for _, in := range append([]*ir.Instr(nil), b.Instrs...) {
+			switch in.Op {
+			case ir.OpLoad:
+				p := in.Args[0]
+				if v, ok := avail[p]; ok && v.Type().Equal(in.Ty) {
+					f.ReplaceAllUses(in, v)
+					b.Remove(in)
+					changed = true
+					continue
+				}
+				avail[p] = in
+			case ir.OpStore:
+				// A store invalidates every pointer (conservative aliasing)
+				// but makes its own pointer's content known.
+				for k := range avail {
+					delete(avail, k)
+				}
+				avail[in.Args[1]] = in.Args[0]
+			case ir.OpMemset:
+				for k := range avail {
+					delete(avail, k)
+				}
+			case ir.OpCall:
+				if in.Callee == nil || !in.Callee.Attrs.ReadNone && !in.Callee.Attrs.ReadOnly {
+					for k := range avail {
+						delete(avail, k)
+					}
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,122 @@
+package passes_test
+
+import (
+	"fmt"
+	"testing"
+
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+)
+
+// TestInstCombineIdentities drives the peephole table: each case builds
+// main(x) { return expr(x) }, runs -instcombine, and requires both the
+// expected op-count reduction and unchanged semantics on a range of inputs.
+func TestInstCombineIdentities(t *testing.T) {
+	type builderFn func(b *ir.Builder, x ir.Value) ir.Value
+	c := func(v int64) ir.Value { return ir.ConstInt(ir.I32, v) }
+	cases := []struct {
+		name     string
+		build    builderFn
+		survives ir.Op // an opcode that must be gone afterwards
+	}{
+		{"add-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Add(x, c(0)) }, ir.OpAdd},
+		{"zero-add", func(b *ir.Builder, x ir.Value) ir.Value { return b.Add(c(0), x) }, ir.OpAdd},
+		{"sub-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Sub(x, c(0)) }, ir.OpSub},
+		{"sub-self", func(b *ir.Builder, x ir.Value) ir.Value { return b.Sub(x, x) }, ir.OpSub},
+		{"mul-one", func(b *ir.Builder, x ir.Value) ir.Value { return b.Mul(x, c(1)) }, ir.OpMul},
+		{"mul-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Mul(x, c(0)) }, ir.OpMul},
+		{"mul-pow2", func(b *ir.Builder, x ir.Value) ir.Value { return b.Mul(x, c(8)) }, ir.OpMul},
+		{"div-one", func(b *ir.Builder, x ir.Value) ir.Value { return b.SDiv(x, c(1)) }, ir.OpSDiv},
+		{"rem-one", func(b *ir.Builder, x ir.Value) ir.Value { return b.SRem(x, c(1)) }, ir.OpSRem},
+		{"and-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.And(x, c(0)) }, ir.OpAnd},
+		{"and-self", func(b *ir.Builder, x ir.Value) ir.Value { return b.And(x, x) }, ir.OpAnd},
+		{"and-ones", func(b *ir.Builder, x ir.Value) ir.Value { return b.And(x, c(-1)) }, ir.OpAnd},
+		{"or-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Or(x, c(0)) }, ir.OpOr},
+		{"or-self", func(b *ir.Builder, x ir.Value) ir.Value { return b.Or(x, x) }, ir.OpOr},
+		{"xor-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Xor(x, c(0)) }, ir.OpXor},
+		{"xor-self", func(b *ir.Builder, x ir.Value) ir.Value { return b.Xor(x, x) }, ir.OpXor},
+		{"shl-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.Shl(x, c(0)) }, ir.OpShl},
+		{"lshr-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.LShr(x, c(0)) }, ir.OpLShr},
+		{"ashr-zero", func(b *ir.Builder, x ir.Value) ir.Value { return b.AShr(x, c(0)) }, ir.OpAShr},
+		{"cmp-self-eq", func(b *ir.Builder, x ir.Value) ir.Value {
+			return b.ZExt(b.ICmp(ir.CmpEQ, x, x), ir.I32)
+		}, ir.OpICmp},
+		{"cmp-self-lt", func(b *ir.Builder, x ir.Value) ir.Value {
+			return b.ZExt(b.ICmp(ir.CmpSLT, x, x), ir.I32)
+		}, ir.OpICmp},
+		{"select-same", func(b *ir.Builder, x ir.Value) ir.Value {
+			return b.Select(b.ICmp(ir.CmpSGT, x, c(0)), x, x)
+		}, ir.OpSelect},
+		{"add-const-chain", func(b *ir.Builder, x ir.Value) ir.Value {
+			return b.Add(b.Add(x, c(5)), c(7))
+		}, 0 /* unchecked: adds shrink 2 -> 1 */},
+	}
+	inputs := []int64{0, 1, -1, 7, -128, 1 << 20}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			build := func() *ir.Module {
+				m := ir.NewModule("ic")
+				f := m.NewFunc("main", ir.I32, ir.I32)
+				b := ir.NewBuilder()
+				b.SetInsert(f.NewBlock("entry"))
+				v := tc.build(b, f.Params[0])
+				b.Print(v)
+				b.Ret(v)
+				return m
+			}
+			m := build()
+			// Semantics: compare main(x) across inputs via a wrapper that
+			// fixes the argument (the runtime passes zeros to main, so
+			// embed the input as a constant instead).
+			for _, in := range inputs {
+				orig := moduleWithArg(tc.build, in)
+				want, errW := interp.Run(orig, interp.DefaultLimits)
+				opt := moduleWithArg(tc.build, in)
+				pass, _ := passes.ByName("instcombine")
+				pass.Run(opt)
+				if err := opt.Verify(); err != nil {
+					t.Fatalf("input %d: verify: %v", in, err)
+				}
+				got, errG := interp.Run(opt, interp.DefaultLimits)
+				if (errW == nil) != (errG == nil) || (errW == nil && want.Exit != got.Exit) {
+					t.Fatalf("input %d: semantics changed: %v/%v vs %v/%v",
+						in, want.Exit, errW, got.Exit, errG)
+				}
+			}
+			// Structure: the target opcode disappears.
+			pass, _ := passes.ByName("instcombine")
+			pass.Run(m)
+			if tc.survives != 0 && countOp(m, tc.survives) != 0 {
+				t.Fatalf("%s: %v survived instcombine:\n%s", tc.name, tc.survives, m.String())
+			}
+		})
+	}
+	// The constant-chain case halves its adds.
+	m := moduleWithArg(func(b *ir.Builder, x ir.Value) ir.Value {
+		return b.Add(b.Add(x, ir.ConstInt(ir.I32, 5)), ir.ConstInt(ir.I32, 7))
+	}, 3)
+	pass, _ := passes.ByName("instcombine")
+	pass.Run(m)
+	if n := countOp(m, ir.OpAdd); n > 1 {
+		t.Fatalf("constant add chain not merged: %d adds", n)
+	}
+}
+
+// moduleWithArg builds main() { v = expr(<const arg>); print v; ret v }.
+func moduleWithArg(build func(b *ir.Builder, x ir.Value) ir.Value, arg int64) *ir.Module {
+	m := ir.NewModule(fmt.Sprintf("ic%d", arg))
+	f := m.NewFunc("main", ir.I32)
+	b := ir.NewBuilder()
+	b.SetInsert(f.NewBlock("entry"))
+	// Route the argument through an alloca so instcombine sees a
+	// non-constant operand (a raw constant would just fold).
+	al := b.Alloca(ir.I32)
+	b.Store(ir.ConstInt(ir.I32, arg), al)
+	x := b.Load(al)
+	v := build(b, x)
+	b.Print(v)
+	b.Ret(v)
+	return m
+}

@@ -1,0 +1,91 @@
+package passes
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+import "autophase/internal/ir"
+
+// RunStats accumulates per-pass instrumentation across Manager.Apply calls.
+type RunStats struct {
+	Name     string
+	Runs     int
+	Changed  int // runs that modified the module
+	Duration time.Duration
+}
+
+// Manager is an instrumented pass runner: it executes sequences like Apply
+// but records how often each pass ran, how often it changed the module, and
+// how long it took — what `opt -time-passes` reports in LLVM.
+type Manager struct {
+	stats map[string]*RunStats
+	// VerifyEach, when set, runs the module verifier after every pass and
+	// records the first failure (a debugging aid for new passes).
+	VerifyEach bool
+	firstErr   error
+	errAfter   string
+}
+
+// NewManager returns an empty instrumented runner.
+func NewManager() *Manager {
+	return &Manager{stats: make(map[string]*RunStats)}
+}
+
+// Apply runs the sequence (Table 1 indices, stopping at -terminate),
+// recording statistics. It reports whether anything changed.
+func (pm *Manager) Apply(m *ir.Module, sequence []int) bool {
+	changed := false
+	for _, idx := range sequence {
+		if idx == TerminateIndex {
+			break
+		}
+		p := ByIndex(idx)
+		st := pm.stats[p.Name()]
+		if st == nil {
+			st = &RunStats{Name: p.Name()}
+			pm.stats[p.Name()] = st
+		}
+		t0 := time.Now()
+		ch := p.Run(m)
+		st.Duration += time.Since(t0)
+		st.Runs++
+		if ch {
+			st.Changed++
+			changed = true
+		}
+		if pm.VerifyEach && pm.firstErr == nil {
+			if err := m.Verify(); err != nil {
+				pm.firstErr = err
+				pm.errAfter = p.Name()
+			}
+		}
+	}
+	return changed
+}
+
+// FirstVerifyError reports the first verifier failure observed under
+// VerifyEach, with the pass that preceded it.
+func (pm *Manager) FirstVerifyError() (string, error) { return pm.errAfter, pm.firstErr }
+
+// Stats returns the accumulated records, most time-consuming first.
+func (pm *Manager) Stats() []RunStats {
+	out := make([]RunStats, 0, len(pm.stats))
+	for _, st := range pm.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration > out[j].Duration })
+	return out
+}
+
+// Report renders the statistics as an aligned table.
+func (pm *Manager) Report() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %6s %8s %12s\n", "pass", "runs", "changed", "time")
+	for _, st := range pm.Stats() {
+		fmt.Fprintf(&sb, "%-24s %6d %8d %12s\n", st.Name, st.Runs, st.Changed, st.Duration.Round(time.Microsecond))
+	}
+	return sb.String()
+}

@@ -1,0 +1,258 @@
+// Package passes implements the 46 LLVM transform passes of the paper's
+// Table 1 over the project's IR, plus the pass manager and the -O0/-O3
+// reference pipelines the evaluation compares against.
+//
+// Each pass performs the transformation its LLVM namesake is known for, at
+// the fidelity the phase-ordering problem needs: passes enable and disable
+// one another (mem2reg unlocks the scalar optimizations, loop-rotate enables
+// loop-unroll, functionattrs enables licm/gvn call hoisting), which is what
+// makes ordering matter.
+package passes
+
+import (
+	"fmt"
+
+	"autophase/internal/ir"
+)
+
+// Pass is a module transformation.
+type Pass interface {
+	// Name returns the LLVM-style flag name, e.g. "-mem2reg".
+	Name() string
+	// Run applies the pass, reporting whether anything changed.
+	Run(m *ir.Module) bool
+}
+
+// funcPass adapts a per-function transformation into a Pass.
+type funcPass struct {
+	name string
+	run  func(*ir.Func) bool
+}
+
+func (p funcPass) Name() string { return p.name }
+
+func (p funcPass) Run(m *ir.Module) bool {
+	changed := false
+	for _, f := range m.Funcs {
+		if p.run(f) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// modPass adapts a whole-module transformation into a Pass.
+type modPass struct {
+	name string
+	run  func(*ir.Module) bool
+}
+
+func (p modPass) Name() string { return p.name }
+
+func (p modPass) Run(m *ir.Module) bool { return p.run(m) }
+
+// NumPasses is the number of Table 1 entries (indices 0–45; index 45,
+// -terminate, is the episode-ending sentinel).
+const NumPasses = 46
+
+// NumActions is K, the number of selectable transform passes in the RL
+// action space (§5.1). Index 45 (-terminate) is excluded.
+const NumActions = 45
+
+// TerminateIndex is the sentinel pass index ending an episode.
+const TerminateIndex = 45
+
+// Table1Names lists the pass flag names by paper index.
+var Table1Names = [NumPasses]string{
+	0: "-correlated-propagation", 1: "-scalarrepl", 2: "-lowerinvoke",
+	3: "-strip", 4: "-strip-nondebug", 5: "-sccp", 6: "-globalopt",
+	7: "-gvn", 8: "-jump-threading", 9: "-globaldce", 10: "-loop-unswitch",
+	11: "-scalarrepl-ssa", 12: "-loop-reduce", 13: "-break-crit-edges",
+	14: "-loop-deletion", 15: "-reassociate", 16: "-lcssa",
+	17: "-codegenprepare", 18: "-memcpyopt", 19: "-functionattrs",
+	20: "-loop-idiom", 21: "-lowerswitch", 22: "-constmerge",
+	23: "-loop-rotate", 24: "-partial-inliner", 25: "-inline",
+	26: "-early-cse", 27: "-indvars", 28: "-adce", 29: "-loop-simplify",
+	30: "-instcombine", 31: "-simplifycfg", 32: "-dse", 33: "-loop-unroll",
+	34: "-lower-expect", 35: "-tailcallelim", 36: "-licm", 37: "-sink",
+	38: "-mem2reg", 39: "-prune-eh", 40: "-functionattrs", 41: "-ipsccp",
+	42: "-deadargelim", 43: "-sroa", 44: "-loweratomic", 45: "-terminate",
+}
+
+// ByIndex constructs the pass at the given Table 1 index. -terminate is the
+// identity.
+func ByIndex(i int) Pass {
+	switch i {
+	case 0:
+		return funcPass{"-correlated-propagation", correlatedPropagation}
+	case 1:
+		return funcPass{"-scalarrepl", scalarRepl}
+	case 2:
+		return funcPass{"-lowerinvoke", lowerInvoke}
+	case 3:
+		return modPass{"-strip", strip}
+	case 4:
+		return modPass{"-strip-nondebug", stripNonDebug}
+	case 5:
+		return funcPass{"-sccp", sccp}
+	case 6:
+		return modPass{"-globalopt", globalOpt}
+	case 7:
+		return funcPass{"-gvn", gvn}
+	case 8:
+		return funcPass{"-jump-threading", jumpThreading}
+	case 9:
+		return modPass{"-globaldce", globalDCE}
+	case 10:
+		return funcPass{"-loop-unswitch", loopUnswitch}
+	case 11:
+		return funcPass{"-scalarrepl-ssa", scalarReplSSA}
+	case 12:
+		return funcPass{"-loop-reduce", loopReduce}
+	case 13:
+		return funcPass{"-break-crit-edges", breakCritEdges}
+	case 14:
+		return funcPass{"-loop-deletion", loopDeletion}
+	case 15:
+		return funcPass{"-reassociate", reassociate}
+	case 16:
+		return funcPass{"-lcssa", lcssa}
+	case 17:
+		return funcPass{"-codegenprepare", codegenPrepare}
+	case 18:
+		return funcPass{"-memcpyopt", memcpyOpt}
+	case 19, 40:
+		return modPass{"-functionattrs", functionAttrs}
+	case 20:
+		return funcPass{"-loop-idiom", loopIdiom}
+	case 21:
+		return funcPass{"-lowerswitch", lowerSwitch}
+	case 22:
+		return modPass{"-constmerge", constMerge}
+	case 23:
+		return funcPass{"-loop-rotate", loopRotate}
+	case 24:
+		return modPass{"-partial-inliner", partialInliner}
+	case 25:
+		return modPass{"-inline", inline}
+	case 26:
+		return funcPass{"-early-cse", earlyCSE}
+	case 27:
+		return funcPass{"-indvars", indvars}
+	case 28:
+		return funcPass{"-adce", adce}
+	case 29:
+		return funcPass{"-loop-simplify", loopSimplify}
+	case 30:
+		return funcPass{"-instcombine", instCombine}
+	case 31:
+		return funcPass{"-simplifycfg", simplifyCFG}
+	case 32:
+		return funcPass{"-dse", dse}
+	case 33:
+		return funcPass{"-loop-unroll", loopUnroll}
+	case 34:
+		return funcPass{"-lower-expect", lowerExpect}
+	case 35:
+		return funcPass{"-tailcallelim", tailCallElim}
+	case 36:
+		return funcPass{"-licm", licm}
+	case 37:
+		return funcPass{"-sink", sink}
+	case 38:
+		return funcPass{"-mem2reg", mem2reg}
+	case 39:
+		return funcPass{"-prune-eh", pruneEH}
+	case 41:
+		return modPass{"-ipsccp", ipsccp}
+	case 42:
+		return modPass{"-deadargelim", deadArgElim}
+	case 43:
+		return funcPass{"-sroa", sroa}
+	case 44:
+		return funcPass{"-loweratomic", lowerAtomic}
+	case 45:
+		return modPass{"-terminate", func(*ir.Module) bool { return false }}
+	default:
+		panic(fmt.Sprintf("passes: invalid index %d", i))
+	}
+}
+
+// ByName constructs a pass from its flag name (with or without the dash).
+func ByName(name string) (Pass, error) {
+	if name == "" {
+		return nil, fmt.Errorf("passes: empty name")
+	}
+	if name[0] != '-' {
+		name = "-" + name
+	}
+	for i, n := range Table1Names {
+		if n == name {
+			return ByIndex(i), nil
+		}
+	}
+	return nil, fmt.Errorf("passes: unknown pass %q", name)
+}
+
+// Apply runs the pass sequence (by Table 1 index) over the module, stopping
+// early at a -terminate sentinel. It reports whether any pass changed the
+// module.
+func Apply(m *ir.Module, sequence []int) bool {
+	changed := false
+	for _, idx := range sequence {
+		if idx == TerminateIndex {
+			break
+		}
+		if ByIndex(idx).Run(m) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// O3Sequence is the reference -O3 pipeline: a hand-picked ordering in the
+// spirit of LLVM's level-3 pass schedule, used as the evaluation baseline.
+var O3Sequence = []int{
+	38, // -mem2reg
+	31, // -simplifycfg
+	5,  // -sccp
+	26, // -early-cse
+	30, // -instcombine
+	25, // -inline
+	19, // -functionattrs
+	43, // -sroa
+	26, // -early-cse
+	8,  // -jump-threading
+	0,  // -correlated-propagation
+	31, // -simplifycfg
+	30, // -instcombine
+	35, // -tailcallelim
+	15, // -reassociate
+	29, // -loop-simplify
+	16, // -lcssa
+	23, // -loop-rotate
+	36, // -licm
+	10, // -loop-unswitch
+	30, // -instcombine
+	27, // -indvars
+	20, // -loop-idiom
+	14, // -loop-deletion
+	33, // -loop-unroll
+	7,  // -gvn
+	18, // -memcpyopt
+	5,  // -sccp
+	30, // -instcombine
+	32, // -dse
+	28, // -adce
+	31, // -simplifycfg
+	30, // -instcombine
+	6,  // -globalopt
+	9,  // -globaldce
+	22, // -constmerge
+	42, // -deadargelim
+	12, // -loop-reduce
+	17, // -codegenprepare
+}
+
+// ApplyO3 clones nothing; it runs the -O3 pipeline in place.
+func ApplyO3(m *ir.Module) { Apply(m, O3Sequence) }

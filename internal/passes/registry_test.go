@@ -1,0 +1,118 @@
+package passes_test
+
+import (
+	"testing"
+
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// TestRegistryMatchesTable1 pins the pass registry to the paper's Table 1:
+// exact names at exact indices.
+func TestRegistryMatchesTable1(t *testing.T) {
+	want := map[int]string{
+		0: "-correlated-propagation", 1: "-scalarrepl", 2: "-lowerinvoke",
+		3: "-strip", 4: "-strip-nondebug", 5: "-sccp", 6: "-globalopt",
+		7: "-gvn", 8: "-jump-threading", 9: "-globaldce", 10: "-loop-unswitch",
+		11: "-scalarrepl-ssa", 12: "-loop-reduce", 13: "-break-crit-edges",
+		14: "-loop-deletion", 15: "-reassociate", 16: "-lcssa",
+		17: "-codegenprepare", 18: "-memcpyopt", 19: "-functionattrs",
+		20: "-loop-idiom", 21: "-lowerswitch", 22: "-constmerge",
+		23: "-loop-rotate", 24: "-partial-inliner", 25: "-inline",
+		26: "-early-cse", 27: "-indvars", 28: "-adce", 29: "-loop-simplify",
+		30: "-instcombine", 31: "-simplifycfg", 32: "-dse", 33: "-loop-unroll",
+		34: "-lower-expect", 35: "-tailcallelim", 36: "-licm", 37: "-sink",
+		38: "-mem2reg", 39: "-prune-eh", 40: "-functionattrs", 41: "-ipsccp",
+		42: "-deadargelim", 43: "-sroa", 44: "-loweratomic", 45: "-terminate",
+	}
+	if passes.NumPasses != 46 || passes.NumActions != 45 || passes.TerminateIndex != 45 {
+		t.Fatal("registry constants drifted from Table 1")
+	}
+	for i := 0; i < passes.NumPasses; i++ {
+		if passes.Table1Names[i] != want[i] {
+			t.Errorf("index %d: %q, want %q", i, passes.Table1Names[i], want[i])
+		}
+		p := passes.ByIndex(i)
+		if i == 19 || i == 40 {
+			// The paper lists -functionattrs twice; both indices must
+			// resolve to it.
+			if p.Name() != "-functionattrs" {
+				t.Errorf("index %d should be -functionattrs", i)
+			}
+			continue
+		}
+		if p.Name() != want[i] {
+			t.Errorf("ByIndex(%d).Name() = %q, want %q", i, p.Name(), want[i])
+		}
+	}
+}
+
+// TestByNameRoundTrip resolves every flag name back to a runnable pass.
+func TestByNameRoundTrip(t *testing.T) {
+	for i, name := range passes.Table1Names {
+		p, err := passes.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if i != 40 && p.Name() != name {
+			t.Fatalf("round trip %q -> %q", name, p.Name())
+		}
+		// Dashless form works too.
+		if _, err := passes.ByName(name[1:]); err != nil {
+			t.Fatalf("dashless %q: %v", name[1:], err)
+		}
+	}
+	if _, err := passes.ByName("-no-such-pass"); err == nil {
+		t.Fatal("unknown pass accepted")
+	}
+}
+
+// TestTerminateIsIdentity: the sentinel must not touch the module and must
+// stop Apply early.
+func TestTerminateIsIdentity(t *testing.T) {
+	m := progen.Benchmark("adpcm")
+	before := m.String()
+	if passes.ByIndex(passes.TerminateIndex).Run(m) {
+		t.Fatal("-terminate claimed to change the module")
+	}
+	if m.String() != before {
+		t.Fatal("-terminate changed the module")
+	}
+	// Apply must stop at the sentinel: the mem2reg after it never runs.
+	m2 := progen.Benchmark("adpcm")
+	passes.Apply(m2, []int{passes.TerminateIndex, 38})
+	if m2.String() != before {
+		t.Fatal("Apply ran passes after -terminate")
+	}
+	_ = ir.Void
+}
+
+// TestManagerInstrumentation checks the instrumented runner records runs,
+// changes and verifier health.
+func TestManagerInstrumentation(t *testing.T) {
+	m := progen.Benchmark("sha")
+	pm := passes.NewManager()
+	pm.VerifyEach = true
+	changed := pm.Apply(m, []int{38, 31, 38, 45, 30}) // second mem2reg is a no-op; 45 stops
+	if !changed {
+		t.Fatal("pipeline reported no change")
+	}
+	stats := pm.Stats()
+	byName := map[string]passes.RunStats{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	if st := byName["-mem2reg"]; st.Runs != 2 || st.Changed != 1 {
+		t.Fatalf("mem2reg stats: %+v", st)
+	}
+	if _, ok := byName["-instcombine"]; ok {
+		t.Fatal("pass after -terminate must not run")
+	}
+	if after, err := pm.FirstVerifyError(); err != nil {
+		t.Fatalf("verifier failed after %s: %v", after, err)
+	}
+	if rep := pm.Report(); len(rep) < 40 {
+		t.Fatalf("report too short: %q", rep)
+	}
+}

@@ -1,0 +1,151 @@
+package passes_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// run executes a module and flattens the observable outcome.
+func run(m *ir.Module) (string, error) {
+	res, err := interp.Run(m, interp.DefaultLimits)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("exit=%d trace=%v", res.Exit, res.Trace), nil
+}
+
+// subjects returns the programs every pass must preserve: the nine
+// benchmarks plus filtered random programs.
+func subjects(t *testing.T, nRandom int) map[string]*ir.Module {
+	t.Helper()
+	subj := make(map[string]*ir.Module)
+	for _, name := range progen.BenchmarkNames {
+		subj[name] = progen.Benchmark(name)
+	}
+	seed := int64(7)
+	for i := 0; i < nRandom; i++ {
+		m, used := progen.GenerateFiltered(seed, progen.DefaultGen)
+		subj[fmt.Sprintf("rand%d", used)] = m
+		seed = used + 1
+	}
+	return subj
+}
+
+// TestEveryPassPreservesSemantics is the central invariant: each of the 46
+// passes, applied alone, must keep the program's observable behaviour (exit
+// value and print trace) identical, and leave the module verifier-clean.
+func TestEveryPassPreservesSemantics(t *testing.T) {
+	subj := subjects(t, 6)
+	for name, orig := range subj {
+		want, err := run(orig)
+		if err != nil {
+			t.Fatalf("%s: baseline run failed: %v", name, err)
+		}
+		for pi := 0; pi < passes.NumPasses; pi++ {
+			m := orig.Clone()
+			p := passes.ByIndex(pi)
+			p.Run(m)
+			if err := m.Verify(); err != nil {
+				t.Errorf("%s: pass %d %s broke the verifier: %v", name, pi, p.Name(), err)
+				continue
+			}
+			got, err := run(m)
+			if err != nil {
+				t.Errorf("%s: pass %d %s made program fail: %v", name, pi, p.Name(), err)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: pass %d %s changed semantics:\n want %s\n got  %s",
+					name, pi, p.Name(), want, got)
+			}
+		}
+	}
+}
+
+// TestRandomSequencesPreserveSemantics stress-tests pass interactions:
+// random pass orderings of growing length, exactly what the RL agent will
+// explore.
+func TestRandomSequencesPreserveSemantics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sequence fuzz")
+	}
+	subj := subjects(t, 4)
+	rng := rand.New(rand.NewSource(2020))
+	for name, orig := range subj {
+		want, err := run(orig)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", name, err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			seqLen := 3 + rng.Intn(14)
+			seq := make([]int, seqLen)
+			for i := range seq {
+				seq[i] = rng.Intn(passes.NumActions)
+			}
+			m := orig.Clone()
+			passes.Apply(m, seq)
+			if err := m.Verify(); err != nil {
+				t.Errorf("%s: sequence %v broke verifier: %v", name, seq, err)
+				continue
+			}
+			got, err := run(m)
+			if err != nil {
+				t.Errorf("%s: sequence %v made program fail: %v", name, seq, err)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: sequence %v changed semantics:\n want %s\n got  %s",
+					name, seq, want, got)
+			}
+		}
+	}
+}
+
+// TestO3PreservesAndImproves checks the -O3 pipeline keeps semantics and
+// does not regress cycle counts on the benchmarks.
+func TestO3PreservesAndImproves(t *testing.T) {
+	for _, name := range progen.BenchmarkNames {
+		orig := progen.Benchmark(name)
+		want, err := run(orig)
+		if err != nil {
+			t.Fatalf("%s: baseline: %v", name, err)
+		}
+		m := orig.Clone()
+		passes.ApplyO3(m)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("%s: -O3 broke verifier: %v", name, err)
+		}
+		got, err := run(m)
+		if err != nil {
+			t.Fatalf("%s: -O3 made program fail: %v", name, err)
+		}
+		if got != want {
+			t.Fatalf("%s: -O3 changed semantics:\n want %s\n got  %s", name, want, got)
+		}
+	}
+}
+
+// TestIdempotentReruns: running the same pass twice in a row must be safe.
+func TestIdempotentReruns(t *testing.T) {
+	orig := progen.Benchmark("matmul")
+	want, _ := run(orig)
+	for pi := 0; pi < passes.NumPasses; pi++ {
+		m := orig.Clone()
+		p := passes.ByIndex(pi)
+		p.Run(m)
+		p.Run(m)
+		if err := m.Verify(); err != nil {
+			t.Errorf("pass %d %s not re-runnable: %v", pi, p.Name(), err)
+			continue
+		}
+		if got, err := run(m); err != nil || got != want {
+			t.Errorf("pass %d %s twice changed semantics (err=%v)", pi, p.Name(), err)
+		}
+	}
+}

@@ -1,0 +1,508 @@
+package progen
+
+import "autophase/internal/ir"
+
+// BenchmarkNames lists the nine real benchmarks in the paper's order
+// (adapted from CHStone and the LegUp examples).
+var BenchmarkNames = []string{
+	"adpcm", "aes", "blowfish", "dhrystone", "gsm", "matmul", "mpeg2", "qsort", "sha",
+}
+
+// Benchmark builds the named benchmark module from scratch.
+func Benchmark(name string) *ir.Module {
+	switch name {
+	case "adpcm":
+		return Adpcm()
+	case "aes":
+		return AES()
+	case "blowfish":
+		return Blowfish()
+	case "dhrystone":
+		return Dhrystone()
+	case "gsm":
+		return GSM()
+	case "matmul":
+		return MatMul()
+	case "mpeg2":
+		return MPEG2()
+	case "qsort":
+		return QSort()
+	case "sha":
+		return SHA()
+	}
+	return nil
+}
+
+// Benchmarks builds all nine in order.
+func Benchmarks() []*ir.Module {
+	ms := make([]*ir.Module, len(BenchmarkNames))
+	for i, n := range BenchmarkNames {
+		ms[i] = Benchmark(n)
+	}
+	return ms
+}
+
+// rom synthesizes deterministic read-only table contents.
+func rom(n int, seed int64, mask int64) []int64 {
+	v := make([]int64, n)
+	x := seed
+	for i := range v {
+		x = (x*1103515245 + 12345) & 0x7fffffff
+		v[i] = x & mask
+	}
+	return v
+}
+
+// Adpcm models the CHStone ADPCM encoder: per-sample delta computation with
+// a step-size table lookup and index clamping.
+func Adpcm() *ir.Module {
+	m := ir.NewModule("adpcm")
+	step := m.NewGlobal("stepsize", ir.ArrayOf(ir.I32, 16), []int64{
+		16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41, 45, 50, 55, 60, 66,
+	}, true)
+
+	fe := NewFE(m)
+	// encode(sample, state) with state packed: low 16 bits valpred, high
+	// bits index — kept as two globals instead for simplicity.
+	fe.Begin("main", ir.I32)
+	fe.Var("valpred", 0)
+	fe.Var("index", 0)
+	fe.Var("checksum", 0)
+	fe.Var("x", 7)
+	fe.For("i", 0, 256, 1, func(iv func() ir.Value) {
+		// Next pseudo-sample.
+		fe.Set("x", fe.And(fe.Add(fe.Mul(fe.V("x"), fe.C(1103)), fe.C(12345)), fe.C(0xffff)))
+		sample := fe.Sub(fe.V("x"), fe.C(0x8000))
+		diff := fe.Sub(sample, fe.V("valpred"))
+		fe.Var("sign", 0)
+		fe.Var("d", 0)
+		fe.Set("d", diff)
+		fe.If(fe.Cmp(ir.CmpSLT, diff, fe.C(0)), func() {
+			fe.Set("sign", fe.C(8))
+			fe.Set("d", fe.Sub(fe.C(0), diff))
+		}, nil)
+		st := fe.GetG(step, fe.V("index"))
+		// delta = min(7, d*4/step)
+		fe.Var("delta", 0)
+		fe.Set("delta", fe.Div(fe.Mul(fe.V("d"), fe.C(4)), st))
+		fe.If(fe.Cmp(ir.CmpSGT, fe.V("delta"), fe.C(7)), func() {
+			fe.Set("delta", fe.C(7))
+		}, nil)
+		// valpred update: vp += sign? -delta*step/4 : delta*step/4
+		upd := fe.Div(fe.Mul(fe.V("delta"), st), fe.C(4))
+		fe.If(fe.Cmp(ir.CmpEQ, fe.V("sign"), fe.C(8)), func() {
+			fe.Set("valpred", fe.Sub(fe.V("valpred"), upd))
+		}, func() {
+			fe.Set("valpred", fe.Add(fe.V("valpred"), upd))
+		})
+		// index adaptation with clamping.
+		fe.If(fe.Cmp(ir.CmpSGE, fe.V("delta"), fe.C(4)), func() {
+			fe.Set("index", fe.Add(fe.V("index"), fe.C(2)))
+		}, func() {
+			fe.Set("index", fe.Sub(fe.V("index"), fe.C(1)))
+		})
+		fe.If(fe.Cmp(ir.CmpSLT, fe.V("index"), fe.C(0)), func() {
+			fe.Set("index", fe.C(0))
+		}, nil)
+		fe.If(fe.Cmp(ir.CmpSGT, fe.V("index"), fe.C(15)), func() {
+			fe.Set("index", fe.C(15))
+		}, nil)
+		fe.Set("checksum", fe.Xor(fe.Add(fe.V("checksum"), fe.V("delta")), fe.V("valpred")))
+		_ = iv
+	})
+	fe.Print(fe.V("checksum"))
+	fe.Print(fe.V("valpred"))
+	fe.Ret(fe.And(fe.V("checksum"), fe.C(0xff)))
+	return m
+}
+
+// AES models the CHStone AES core: S-box substitution, row rotation and a
+// mix/key-add step over a 16-byte state for 10 rounds.
+func AES() *ir.Module {
+	m := ir.NewModule("aes")
+	sbox := m.NewGlobal("sbox", ir.ArrayOf(ir.I32, 256), rom(256, 99, 0xff), true)
+
+	fe := NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("state", 16)
+	fe.Arr("key", 16)
+	fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+		fe.Put("state", iv(), fe.And(fe.Mul(iv(), fe.C(37)), fe.C(0xff)))
+		fe.Put("key", iv(), fe.And(fe.Add(fe.Mul(iv(), fe.C(91)), fe.C(7)), fe.C(0xff)))
+	})
+	fe.For("round", 0, 10, 1, func(rv func() ir.Value) {
+		// SubBytes.
+		fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+			fe.Put("state", iv(), fe.GetG(sbox, fe.Get("state", iv())))
+		})
+		// ShiftRows: rotate row r left by r (4x4 column-major layout).
+		fe.Arr("tmp", 16)
+		fe.For("r", 0, 4, 1, func(rr func() ir.Value) {
+			fe.For("c", 0, 4, 1, func(cc func() ir.Value) {
+				src := fe.Add(rr(), fe.Mul(fe.And(fe.Add(cc(), rr()), fe.C(3)), fe.C(4)))
+				dst := fe.Add(rr(), fe.Mul(cc(), fe.C(4)))
+				fe.Put("tmp", dst, fe.Get("state", src))
+			})
+		})
+		// MixColumns-ish xor mixing + AddRoundKey.
+		fe.For("c", 0, 4, 1, func(cc func() ir.Value) {
+			base := fe.Mul(cc(), fe.C(4))
+			a0 := fe.Get("tmp", base)
+			a1 := fe.Get("tmp", fe.Add(base, fe.C(1)))
+			a2 := fe.Get("tmp", fe.Add(base, fe.C(2)))
+			a3 := fe.Get("tmp", fe.Add(base, fe.C(3)))
+			mix := fe.Xor(fe.Xor(a0, a1), fe.Xor(a2, a3))
+			fe.For("r", 0, 4, 1, func(rr func() ir.Value) {
+				i := fe.Add(base, rr())
+				v := fe.Xor(fe.Get("tmp", i), mix)
+				v = fe.Xor(v, fe.Get("key", i))
+				v = fe.And(fe.Add(v, rv()), fe.C(0xff))
+				fe.Put("state", i, v)
+			})
+		})
+		// Key schedule step.
+		fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+			nk := fe.Xor(fe.Get("key", iv()), fe.GetG(sbox, fe.Get("key", fe.And(fe.Add(iv(), fe.C(1)), fe.C(15)))))
+			fe.Put("key", iv(), fe.And(nk, fe.C(0xff)))
+		})
+	})
+	fe.Var("checksum", 0)
+	fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+		fe.Set("checksum", fe.Xor(fe.Add(fe.Shl(fe.V("checksum"), fe.C(1)), fe.Get("state", iv())), fe.V("checksum")))
+	})
+	fe.Print(fe.V("checksum"))
+	fe.Ret(fe.And(fe.V("checksum"), fe.C(0x7fffffff)))
+	return m
+}
+
+// Blowfish models the CHStone blowfish core: a 16-round Feistel network
+// whose round function does S-box lookups.
+func Blowfish() *ir.Module {
+	m := ir.NewModule("blowfish")
+	parr := m.NewGlobal("P", ir.ArrayOf(ir.I32, 18), rom(18, 1234, 0xffffff), true)
+	s0 := m.NewGlobal("S0", ir.ArrayOf(ir.I32, 64), rom(64, 7, 0xffffff), true)
+	s1 := m.NewGlobal("S1", ir.ArrayOf(ir.I32, 64), rom(64, 8, 0xffffff), true)
+
+	fe := NewFE(m)
+	ff := fe.Begin("F", ir.I32, "x")
+	{
+		a := fe.And(fe.Shr(fe.V("x"), fe.C(8)), fe.C(63))
+		b := fe.And(fe.V("x"), fe.C(63))
+		fe.Ret(fe.And(fe.Add(fe.GetG(s0, a), fe.Xor(fe.GetG(s1, b), fe.V("x"))), fe.C(0xffffff)))
+	}
+
+	fe.Begin("main", ir.I32)
+	fe.Var("checksum", 0)
+	fe.For("blk", 0, 24, 1, func(bv func() ir.Value) {
+		fe.Var("L", 0)
+		fe.Var("R", 0)
+		fe.Set("L", fe.And(fe.Mul(bv(), fe.C(0x9e37)), fe.C(0xffffff)))
+		fe.Set("R", fe.And(fe.Mul(bv(), fe.C(0x7f4a)), fe.C(0xffffff)))
+		fe.For("round", 0, 16, 1, func(rv func() ir.Value) {
+			fe.Set("L", fe.Xor(fe.V("L"), fe.GetG(parr, rv())))
+			fe.Set("R", fe.Xor(fe.V("R"), fe.Call(ff, fe.V("L"))))
+			// swap
+			fe.Var("t", 0)
+			fe.Set("t", fe.V("L"))
+			fe.Set("L", fe.V("R"))
+			fe.Set("R", fe.V("t"))
+		})
+		fe.Set("L", fe.Xor(fe.V("L"), fe.GetG(parr, fe.C(16))))
+		fe.Set("R", fe.Xor(fe.V("R"), fe.GetG(parr, fe.C(17))))
+		fe.Set("checksum", fe.And(fe.Add(fe.V("checksum"), fe.Xor(fe.V("L"), fe.V("R"))), fe.C(0x7fffffff)))
+	})
+	fe.Print(fe.V("checksum"))
+	fe.Ret(fe.V("checksum"))
+	return m
+}
+
+// Dhrystone models the classic integer benchmark: small procedures called
+// in a measurement loop with branchy record/array manipulation.
+func Dhrystone() *ir.Module {
+	m := ir.NewModule("dhrystone")
+	fe := NewFE(m)
+
+	p7 := fe.Begin("Proc7", ir.I32, "a", "b")
+	{
+		fe.Ret(fe.Add(fe.Add(fe.V("a"), fe.C(2)), fe.V("b")))
+	}
+	p8base := fe.Begin("Func1", ir.I32, "c1", "c2")
+	{
+		fe.If(fe.Cmp(ir.CmpEQ, fe.V("c1"), fe.V("c2")), func() {
+			fe.Ret(fe.C(0))
+		}, nil)
+		fe.Ret(fe.C(1))
+	}
+
+	fe.Begin("main", ir.I32)
+	fe.Arr("arr1", 32)
+	fe.Arr("arr2", 32)
+	fe.Var("int1", 0)
+	fe.Var("int2", 0)
+	fe.Var("int3", 0)
+	fe.Var("checksum", 0)
+	fe.For("run", 0, 64, 1, func(rv func() ir.Value) {
+		fe.Set("int1", fe.C(2))
+		fe.Set("int2", fe.Add(fe.C(3), fe.V("int1")))
+		fe.Set("int3", fe.Call(p7, fe.V("int1"), fe.V("int2")))
+		// Proc8-like array work.
+		idx := fe.And(rv(), fe.C(31))
+		fe.Put("arr1", idx, fe.V("int3"))
+		fe.Put("arr1", fe.And(fe.Add(idx, fe.C(1)), fe.C(31)), fe.Add(fe.V("int3"), fe.C(1)))
+		fe.For("i", 0, 8, 1, func(iv func() ir.Value) {
+			j := fe.And(fe.Add(idx, iv()), fe.C(31))
+			fe.Put("arr2", j, fe.Add(fe.Get("arr1", idx), iv()))
+		})
+		fe.If(fe.Cmp(ir.CmpEQ, fe.Call(p8base, fe.V("int1"), fe.V("int2")), fe.C(1)), func() {
+			fe.Set("checksum", fe.Add(fe.V("checksum"), fe.Get("arr2", idx)))
+		}, func() {
+			fe.Set("checksum", fe.Sub(fe.V("checksum"), fe.C(1)))
+		})
+		// String-compare-like loop.
+		fe.Var("eq", 1)
+		fe.For("k", 0, 16, 1, func(kv func() ir.Value) {
+			a := fe.And(fe.Add(kv(), rv()), fe.C(31))
+			fe.If(fe.Cmp(ir.CmpNE, fe.Get("arr1", fe.And(a, fe.C(31))), fe.Get("arr2", fe.And(a, fe.C(31)))), func() {
+				fe.Set("eq", fe.C(0))
+			}, nil)
+		})
+		fe.Set("checksum", fe.Add(fe.V("checksum"), fe.V("eq")))
+	})
+	fe.Print(fe.V("checksum"))
+	fe.Ret(fe.And(fe.V("checksum"), fe.C(0xffff)))
+	return m
+}
+
+// GSM models the GSM LTP (long-term predictor): a cross-correlation search
+// for the best lag — multiply-heavy nested loops with a running maximum.
+func GSM() *ir.Module {
+	m := ir.NewModule("gsm")
+	fe := NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("d", 160)
+	fe.Var("x", 3)
+	fe.For("i", 0, 160, 1, func(iv func() ir.Value) {
+		fe.Set("x", fe.And(fe.Add(fe.Mul(fe.V("x"), fe.C(75)), fe.C(74)), fe.C(0x3fff)))
+		fe.Put("d", iv(), fe.Sub(fe.V("x"), fe.C(0x2000)))
+	})
+	fe.Var("bestGain", -1)
+	fe.Var("bestLag", 40)
+	fe.For("lambda", 40, 120, 1, func(lv func() ir.Value) {
+		fe.Var("gain", 0)
+		fe.For("k", 0, 40, 1, func(kv func() ir.Value) {
+			a := fe.Get("d", fe.Add(kv(), fe.C(120)))
+			b := fe.Get("d", fe.Sub(fe.Add(kv(), fe.C(120)), lv()))
+			fe.Set("gain", fe.Add(fe.V("gain"), fe.Sar(fe.Mul(a, b), fe.C(6))))
+		})
+		fe.If(fe.Cmp(ir.CmpSGT, fe.V("gain"), fe.V("bestGain")), func() {
+			fe.Set("bestGain", fe.V("gain"))
+			fe.Set("bestLag", lv())
+		}, nil)
+	})
+	fe.Print(fe.V("bestGain"))
+	fe.Print(fe.V("bestLag"))
+	fe.Ret(fe.And(fe.Add(fe.V("bestGain"), fe.V("bestLag")), fe.C(0x7fffffff)))
+	return m
+}
+
+// MatMul is the dense matrix multiply example from the LegUp suite.
+func MatMul() *ir.Module {
+	m := ir.NewModule("matmul")
+	const n = 12
+	fe := NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("A", n*n)
+	fe.Arr("B", n*n)
+	fe.Arr("C", n*n)
+	fe.For("i", 0, n*n, 1, func(iv func() ir.Value) {
+		fe.Put("A", iv(), fe.And(fe.Mul(iv(), fe.C(13)), fe.C(0xff)))
+		fe.Put("B", iv(), fe.And(fe.Mul(iv(), fe.C(29)), fe.C(0xff)))
+		fe.Put("C", iv(), fe.C(0))
+	})
+	fe.For("i", 0, n, 1, func(iv func() ir.Value) {
+		fe.For("j", 0, n, 1, func(jv func() ir.Value) {
+			fe.Var("sum", 0)
+			fe.For("k", 0, n, 1, func(kv func() ir.Value) {
+				a := fe.Get("A", fe.Add(fe.Mul(iv(), fe.C(n)), kv()))
+				b := fe.Get("B", fe.Add(fe.Mul(kv(), fe.C(n)), jv()))
+				fe.Set("sum", fe.Add(fe.V("sum"), fe.Mul(a, b)))
+			})
+			fe.Put("C", fe.Add(fe.Mul(iv(), fe.C(n)), jv()), fe.V("sum"))
+		})
+	})
+	fe.Var("checksum", 0)
+	fe.For("i", 0, n*n, 1, func(iv func() ir.Value) {
+		fe.Set("checksum", fe.Xor(fe.Add(fe.V("checksum"), fe.Get("C", iv())), fe.C(0x5a5a)))
+	})
+	fe.Print(fe.V("checksum"))
+	fe.Ret(fe.And(fe.V("checksum"), fe.C(0x7fffffff)))
+	return m
+}
+
+// MPEG2 models the mpeg2 motion/IDCT kernels: a row/column butterfly
+// transform over an 8x8 block followed by a SAD loop.
+func MPEG2() *ir.Module {
+	m := ir.NewModule("mpeg2")
+	fe := NewFE(m)
+	fe.Begin("main", ir.I32)
+	fe.Arr("blk", 64)
+	fe.Arr("ref", 64)
+	fe.For("i", 0, 64, 1, func(iv func() ir.Value) {
+		fe.Put("blk", iv(), fe.Sub(fe.And(fe.Mul(iv(), fe.C(31)), fe.C(0xff)), fe.C(128)))
+		fe.Put("ref", iv(), fe.Sub(fe.And(fe.Mul(iv(), fe.C(17)), fe.C(0xff)), fe.C(128)))
+	})
+	// Row butterflies.
+	fe.For("r", 0, 8, 1, func(rv func() ir.Value) {
+		base := fe.Mul(rv(), fe.C(8))
+		fe.For("k", 0, 4, 1, func(kv func() ir.Value) {
+			i0 := fe.Add(base, kv())
+			i1 := fe.Add(base, fe.Sub(fe.C(7), kv()))
+			a := fe.Get("blk", i0)
+			b := fe.Get("blk", i1)
+			fe.Put("blk", i0, fe.Sar(fe.Add(a, b), fe.C(1)))
+			fe.Put("blk", i1, fe.Sar(fe.Sub(a, b), fe.C(1)))
+		})
+	})
+	// Column butterflies.
+	fe.For("c", 0, 8, 1, func(cv func() ir.Value) {
+		fe.For("k", 0, 4, 1, func(kv func() ir.Value) {
+			i0 := fe.Add(cv(), fe.Mul(kv(), fe.C(8)))
+			i1 := fe.Add(cv(), fe.Mul(fe.Sub(fe.C(7), kv()), fe.C(8)))
+			a := fe.Get("blk", i0)
+			b := fe.Get("blk", i1)
+			fe.Put("blk", i0, fe.Add(a, b))
+			fe.Put("blk", i1, fe.Sub(a, b))
+		})
+	})
+	// SAD over the transformed block vs the reference.
+	fe.Var("sad", 0)
+	fe.For("i", 0, 64, 1, func(iv func() ir.Value) {
+		d := fe.Sub(fe.Get("blk", iv()), fe.Get("ref", iv()))
+		neg := fe.Sub(fe.C(0), d)
+		abs := fe.B.Select(fe.Cmp(ir.CmpSLT, d, fe.C(0)), neg, d)
+		fe.Set("sad", fe.Add(fe.V("sad"), abs))
+	})
+	fe.Print(fe.V("sad"))
+	fe.Ret(fe.And(fe.V("sad"), fe.C(0x7fffffff)))
+	return m
+}
+
+// QSort is the recursive quicksort from the LegUp examples, exercising the
+// call-heavy path (inlining, tail calls).
+func QSort() *ir.Module {
+	m := ir.NewModule("qsort")
+	g := m.NewGlobal("data", ir.ArrayOf(ir.I32, 128), rom(128, 42, 0xffff), false)
+
+	fe := NewFE(m)
+	qs := fe.Begin("quicksort", ir.Void, "lo", "hi")
+	{
+		fe.If(fe.Cmp(ir.CmpSGE, fe.V("lo"), fe.V("hi")), func() {
+			fe.Ret(nil)
+		}, nil)
+		fe.Var("pivot", 0)
+		fe.Set("pivot", fe.GetG(g, fe.V("hi")))
+		fe.Var("i", 0)
+		fe.Set("i", fe.Sub(fe.V("lo"), fe.C(1)))
+		fe.Var("j", 0)
+		fe.Set("j", fe.V("lo"))
+		fe.While(func() ir.Value {
+			return fe.Cmp(ir.CmpSLT, fe.V("j"), fe.V("hi"))
+		}, func() {
+			fe.If(fe.Cmp(ir.CmpSLE, fe.GetG(g, fe.V("j")), fe.V("pivot")), func() {
+				fe.Set("i", fe.Add(fe.V("i"), fe.C(1)))
+				fe.Var("t", 0)
+				fe.Set("t", fe.GetG(g, fe.V("i")))
+				fe.PutG(g, fe.V("i"), fe.GetG(g, fe.V("j")))
+				fe.PutG(g, fe.V("j"), fe.V("t"))
+			}, nil)
+			fe.Set("j", fe.Add(fe.V("j"), fe.C(1)))
+		})
+		p := fe.Add(fe.V("i"), fe.C(1))
+		fe.Var("t2", 0)
+		fe.Set("t2", fe.GetG(g, p))
+		fe.PutG(g, p, fe.GetG(g, fe.V("hi")))
+		fe.PutG(g, fe.V("hi"), fe.V("t2"))
+		fe.Call(fe.F.Module().Func("quicksort"), fe.V("lo"), fe.Sub(p, fe.C(1)))
+		fe.Call(fe.F.Module().Func("quicksort"), fe.Add(p, fe.C(1)), fe.V("hi"))
+		fe.Ret(nil)
+	}
+	_ = qs
+
+	fe.Begin("main", ir.I32)
+	fe.Call(m.Func("quicksort"), fe.C(0), fe.C(127))
+	fe.Var("checksum", 0)
+	fe.Var("sorted", 1)
+	fe.For("i", 0, 127, 1, func(iv func() ir.Value) {
+		fe.If(fe.Cmp(ir.CmpSGT, fe.GetG(g, iv()), fe.GetG(g, fe.Add(iv(), fe.C(1)))), func() {
+			fe.Set("sorted", fe.C(0))
+		}, nil)
+		fe.Set("checksum", fe.Add(fe.V("checksum"), fe.Mul(fe.GetG(g, iv()), iv())))
+	})
+	fe.Print(fe.V("sorted"))
+	fe.Print(fe.V("checksum"))
+	fe.Ret(fe.V("sorted"))
+	return m
+}
+
+// SHA models the CHStone SHA-1 transform: message-schedule expansion with
+// rotations and an 80-round compression with a per-20-round function switch.
+func SHA() *ir.Module {
+	m := ir.NewModule("sha")
+	fe := NewFE(m)
+
+	rotl := fe.Begin("rotl", ir.I32, "x", "n")
+	{
+		l := fe.Shl(fe.V("x"), fe.V("n"))
+		r := fe.Shr(fe.And(fe.V("x"), fe.C(0xffffffff)), fe.Sub(fe.C(32), fe.V("n")))
+		fe.Ret(fe.And(fe.Or(l, r), fe.C(0xffffffff)))
+	}
+
+	fe.Begin("main", ir.I32)
+	fe.Arr("W", 80)
+	fe.For("i", 0, 16, 1, func(iv func() ir.Value) {
+		fe.Put("W", iv(), fe.And(fe.Mul(fe.Add(iv(), fe.C(1)), fe.C(0x9e3779b1)), fe.C(0xffffffff)))
+	})
+	fe.For("t", 16, 80, 1, func(tv func() ir.Value) {
+		w := fe.Xor(fe.Xor(fe.Get("W", fe.Sub(tv(), fe.C(3))), fe.Get("W", fe.Sub(tv(), fe.C(8)))),
+			fe.Xor(fe.Get("W", fe.Sub(tv(), fe.C(14))), fe.Get("W", fe.Sub(tv(), fe.C(16)))))
+		fe.Put("W", tv(), fe.Call(rotl, w, fe.C(1)))
+	})
+	fe.Var("a", 0x67452301)
+	fe.Var("b", 0x7fffffff)
+	fe.Var("c", 0x12345678)
+	fe.Var("d", 0x10325476)
+	fe.Var("e", 0x3c2d1e0f)
+	fe.For("t", 0, 80, 1, func(tv func() ir.Value) {
+		fe.Var("f", 0)
+		fe.Var("k", 0)
+		q := fe.Div(tv(), fe.C(20))
+		fe.Switch(q, []int64{0, 1, 2}, []func(){
+			func() {
+				fe.Set("f", fe.Or(fe.And(fe.V("b"), fe.V("c")), fe.And(fe.Xor(fe.V("b"), fe.C(-1)), fe.V("d"))))
+				fe.Set("k", fe.C(0x5a827999))
+			},
+			func() {
+				fe.Set("f", fe.Xor(fe.Xor(fe.V("b"), fe.V("c")), fe.V("d")))
+				fe.Set("k", fe.C(0x6ed9eba1))
+			},
+			func() {
+				fe.Set("f", fe.Or(fe.And(fe.V("b"), fe.V("c")), fe.Or(fe.And(fe.V("b"), fe.V("d")), fe.And(fe.V("c"), fe.V("d")))))
+				fe.Set("k", fe.C(0x8f1bbcdc))
+			},
+		}, func() {
+			fe.Set("f", fe.Xor(fe.Xor(fe.V("b"), fe.V("c")), fe.V("d")))
+			fe.Set("k", fe.C(0xca62c1d6))
+		})
+		tmp := fe.And(fe.Add(fe.Add(fe.Call(rotl, fe.V("a"), fe.C(5)), fe.V("f")),
+			fe.Add(fe.Add(fe.V("e"), fe.V("k")), fe.Get("W", tv()))), fe.C(0xffffffff))
+		fe.Set("e", fe.V("d"))
+		fe.Set("d", fe.V("c"))
+		fe.Set("c", fe.Call(rotl, fe.V("b"), fe.C(30)))
+		fe.Set("b", fe.V("a"))
+		fe.Set("a", tmp)
+	})
+	sum := fe.Xor(fe.Xor(fe.V("a"), fe.V("b")), fe.Xor(fe.V("c"), fe.Xor(fe.V("d"), fe.V("e"))))
+	fe.Print(sum)
+	fe.Ret(fe.And(sum, fe.C(0x7fffffff)))
+	return m
+}

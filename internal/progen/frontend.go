@@ -1,0 +1,273 @@
+// Package progen supplies the programs AutoPhase optimizes: nine hand-built
+// benchmarks with the computational skeletons of the paper's CHStone/LegUp
+// suite, and a seeded random program generator standing in for CSmith.
+//
+// Both emit deliberately naive -O0-style IR — every local variable is an
+// alloca, every use is a load, loops are in while form — so the transform
+// passes have the same work to do that they have on Clang -O0 output.
+package progen
+
+import "autophase/internal/ir"
+
+// FE is a tiny C-like frontend: it lowers structured statements into the
+// canonical unoptimized IR shape (locals as allocas, while-form loops).
+type FE struct {
+	M     *ir.Module
+	B     *ir.Builder
+	F     *ir.Func
+	entry *ir.Block
+	vars  map[string]*ir.Instr // name -> alloca (scalar or array)
+	nblk  int
+}
+
+// NewFE returns a frontend for module m.
+func NewFE(m *ir.Module) *FE {
+	return &FE{M: m, B: ir.NewBuilder()}
+}
+
+// Begin starts a function with i32 parameters; parameters are spilled to
+// allocas exactly as an unoptimized C compiler would.
+func (fe *FE) Begin(name string, ret *ir.Type, params ...string) *ir.Func {
+	types := make([]*ir.Type, len(params))
+	for i := range params {
+		types[i] = ir.I32
+	}
+	fe.F = fe.M.NewFunc(name, ret, types...)
+	fe.vars = make(map[string]*ir.Instr)
+	fe.entry = fe.F.NewBlock("entry")
+	fe.B.SetInsert(fe.entry)
+	for i, pn := range params {
+		fe.F.Params[i].Name = pn
+		al := fe.allocaInEntry(ir.I32)
+		al.Name = pn + ".addr"
+		fe.B.Store(fe.F.Params[i], al)
+		fe.vars[pn] = al
+	}
+	return fe.F
+}
+
+func (fe *FE) block(name string) *ir.Block {
+	fe.nblk++
+	return fe.F.NewBlock(name)
+}
+
+// brIfOpen branches to dest unless the current block already ended (a body
+// closure may have emitted a ret).
+func (fe *FE) brIfOpen(dest *ir.Block) {
+	if fe.B.Block().Term() == nil {
+		fe.B.Br(dest)
+	}
+}
+
+// allocaInEntry places an alloca at the top of the entry block, exactly as
+// Clang does for every C local regardless of scope.
+func (fe *FE) allocaInEntry(ty *ir.Type) *ir.Instr {
+	elem := ty
+	if ty.Kind == ir.ArrayKind {
+		elem = ty.Elem
+	}
+	al := &ir.Instr{Op: ir.OpAlloca, Ty: ir.PointerTo(elem), AllocTy: ty}
+	pos := 0
+	for pos < len(fe.entry.Instrs) && fe.entry.Instrs[pos].Op == ir.OpAlloca {
+		pos++
+	}
+	if pos == len(fe.entry.Instrs) {
+		fe.entry.Append(al)
+	} else {
+		fe.entry.InsertBefore(al, fe.entry.Instrs[pos])
+	}
+	return al
+}
+
+// Var declares an i32 local initialized to init. The alloca lands in the
+// entry block; the initializing store lands at the current position.
+func (fe *FE) Var(name string, init int64) {
+	al := fe.allocaInEntry(ir.I32)
+	al.Name = name
+	fe.B.Store(ir.ConstInt(ir.I32, init), al)
+	fe.vars[name] = al
+}
+
+// Arr declares a local i32 array of n elements (zero initialized cells are
+// the interpreter default; explicit stores must initialize what is read).
+func (fe *FE) Arr(name string, n int) {
+	al := fe.allocaInEntry(ir.ArrayOf(ir.I32, n))
+	al.Name = name
+	fe.vars[name] = al
+}
+
+// Addr returns the alloca of a declared variable.
+func (fe *FE) Addr(name string) *ir.Instr { return fe.vars[name] }
+
+// V loads the current value of a scalar variable.
+func (fe *FE) V(name string) ir.Value { return fe.B.Load(fe.vars[name]) }
+
+// C is an i32 constant.
+func (fe *FE) C(v int64) ir.Value { return ir.ConstInt(ir.I32, v) }
+
+// Set stores v into a scalar variable.
+func (fe *FE) Set(name string, v ir.Value) { fe.B.Store(v, fe.vars[name]) }
+
+// Idx returns the address of arr[i].
+func (fe *FE) Idx(name string, i ir.Value) ir.Value {
+	return fe.B.GEP(fe.vars[name], i)
+}
+
+// Get loads arr[i].
+func (fe *FE) Get(name string, i ir.Value) ir.Value {
+	return fe.B.Load(fe.B.GEP(fe.vars[name], i))
+}
+
+// Put stores v into arr[i].
+func (fe *FE) Put(name string, i, v ir.Value) {
+	fe.B.Store(v, fe.B.GEP(fe.vars[name], i))
+}
+
+// GetG loads g[i] from a module global.
+func (fe *FE) GetG(g *ir.Global, i ir.Value) ir.Value {
+	return fe.B.Load(fe.B.GEP(g, i))
+}
+
+// PutG stores v into g[i].
+func (fe *FE) PutG(g *ir.Global, i, v ir.Value) {
+	fe.B.Store(v, fe.B.GEP(g, i))
+}
+
+// Arithmetic and comparison sugar.
+
+// Add emits a + b.
+func (fe *FE) Add(a, b ir.Value) ir.Value { return fe.B.Add(a, b) }
+
+// Sub emits a - b.
+func (fe *FE) Sub(a, b ir.Value) ir.Value { return fe.B.Sub(a, b) }
+
+// Mul emits a * b.
+func (fe *FE) Mul(a, b ir.Value) ir.Value { return fe.B.Mul(a, b) }
+
+// Div emits a / b (caller guarantees b != 0).
+func (fe *FE) Div(a, b ir.Value) ir.Value { return fe.B.SDiv(a, b) }
+
+// Rem emits a % b (caller guarantees b != 0).
+func (fe *FE) Rem(a, b ir.Value) ir.Value { return fe.B.SRem(a, b) }
+
+// And emits a & b.
+func (fe *FE) And(a, b ir.Value) ir.Value { return fe.B.And(a, b) }
+
+// Or emits a | b.
+func (fe *FE) Or(a, b ir.Value) ir.Value { return fe.B.Or(a, b) }
+
+// Xor emits a ^ b.
+func (fe *FE) Xor(a, b ir.Value) ir.Value { return fe.B.Xor(a, b) }
+
+// Shl emits a << b.
+func (fe *FE) Shl(a, b ir.Value) ir.Value { return fe.B.Shl(a, b) }
+
+// Shr emits a >> b (logical).
+func (fe *FE) Shr(a, b ir.Value) ir.Value { return fe.B.LShr(a, b) }
+
+// Sar emits a >> b (arithmetic).
+func (fe *FE) Sar(a, b ir.Value) ir.Value { return fe.B.AShr(a, b) }
+
+// Cmp emits a comparison.
+func (fe *FE) Cmp(p ir.CmpPred, a, b ir.Value) ir.Value { return fe.B.ICmp(p, a, b) }
+
+// Call emits a call.
+func (fe *FE) Call(f *ir.Func, args ...ir.Value) ir.Value { return fe.B.Call(f, args...) }
+
+// Print emits the observable-output intrinsic.
+func (fe *FE) Print(v ir.Value) { fe.B.Print(v) }
+
+// Ret returns v (nil for void).
+func (fe *FE) Ret(v ir.Value) { fe.B.Ret(v) }
+
+// For emits the canonical unoptimized counted loop
+//
+//	for (name = lo; name < hi; name += step) body
+//
+// in while form: a header re-testing the bound each iteration.
+func (fe *FE) For(name string, lo, hi, step int64, body func(iv func() ir.Value)) {
+	fe.Var(name, lo)
+	header := fe.block(name + ".cond")
+	bodyB := fe.block(name + ".body")
+	latch := fe.block(name + ".inc")
+	exit := fe.block(name + ".end")
+	fe.B.Br(header)
+
+	fe.B.SetInsert(header)
+	cond := fe.B.ICmp(ir.CmpSLT, fe.V(name), fe.C(hi))
+	fe.B.CondBr(cond, bodyB, exit)
+
+	fe.B.SetInsert(bodyB)
+	body(func() ir.Value { return fe.V(name) })
+	fe.brIfOpen(latch)
+
+	fe.B.SetInsert(latch)
+	fe.Set(name, fe.B.Add(fe.V(name), fe.C(step)))
+	fe.B.Br(header)
+
+	fe.B.SetInsert(exit)
+}
+
+// While emits a general while loop; cond is evaluated in the header.
+func (fe *FE) While(cond func() ir.Value, body func()) {
+	header := fe.block("while.cond")
+	bodyB := fe.block("while.body")
+	exit := fe.block("while.end")
+	fe.B.Br(header)
+
+	fe.B.SetInsert(header)
+	fe.B.CondBr(cond(), bodyB, exit)
+
+	fe.B.SetInsert(bodyB)
+	body()
+	fe.brIfOpen(header)
+
+	fe.B.SetInsert(exit)
+}
+
+// If emits an if/else; els may be nil.
+func (fe *FE) If(cond ir.Value, then func(), els func()) {
+	thenB := fe.block("if.then")
+	exit := fe.block("if.end")
+	elseB := exit
+	if els != nil {
+		elseB = fe.block("if.else")
+	}
+	fe.B.CondBr(cond, thenB, elseB)
+
+	fe.B.SetInsert(thenB)
+	then()
+	fe.brIfOpen(exit)
+
+	if els != nil {
+		fe.B.SetInsert(elseB)
+		els()
+		fe.brIfOpen(exit)
+	}
+	fe.B.SetInsert(exit)
+}
+
+// Switch emits a C switch with break semantics (no fallthrough).
+func (fe *FE) Switch(v ir.Value, vals []int64, cases []func(), def func()) {
+	exit := fe.block("sw.end")
+	defB := exit
+	if def != nil {
+		defB = fe.block("sw.default")
+	}
+	targets := make([]*ir.Block, len(vals))
+	for i := range vals {
+		targets[i] = fe.block("sw.case" + string(rune('a'+i%26)))
+	}
+	fe.B.Switch(v, defB, vals, targets)
+	for i, t := range targets {
+		fe.B.SetInsert(t)
+		cases[i]()
+		fe.brIfOpen(exit)
+	}
+	if def != nil {
+		fe.B.SetInsert(defB)
+		def()
+		fe.brIfOpen(exit)
+	}
+	fe.B.SetInsert(exit)
+}

@@ -1,0 +1,319 @@
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+)
+
+// GenConfig bounds the shape of generated programs.
+type GenConfig struct {
+	MaxStmts    int // statements per block body
+	MaxDepth    int // nesting depth of control structures
+	MaxLoops    int // loop budget per function (keeps runtimes bounded)
+	MaxHelpers  int // helper functions callable from main
+	ArraySize   int // power-of-two array length
+	MaxTripHint int // loop bounds drawn from [1, MaxTripHint]
+}
+
+// DefaultGen mirrors the scale of the paper's CSmith programs after their
+// five-minute filter: loopy integer programs of a few hundred instructions.
+var DefaultGen = GenConfig{
+	MaxStmts:    6,
+	MaxDepth:    3,
+	MaxLoops:    6,
+	MaxHelpers:  3,
+	ArraySize:   32,
+	MaxTripHint: 24,
+}
+
+// Generate builds a random, terminating, trap-free program. The same seed
+// always yields the same program.
+func Generate(seed int64, cfg GenConfig) *ir.Module {
+	g := &gen{
+		rng: rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+		m:   ir.NewModule(fmt.Sprintf("rand%d", seed)),
+	}
+	g.fe = NewFE(g.m)
+	// A read-only table gives globalopt/constmerge something to chew on.
+	g.tab = g.m.NewGlobal("tab", ir.ArrayOf(ir.I32, int64ToInt(int64(cfg.ArraySize))),
+		rom(cfg.ArraySize, seed|1, 0xffff), true)
+
+	nh := 1 + g.rng.Intn(cfg.MaxHelpers)
+	for i := 0; i < nh; i++ {
+		g.genHelper(i)
+	}
+	g.genMain()
+	return g.m
+}
+
+func int64ToInt(v int64) int { return int(v) }
+
+type gen struct {
+	rng     *rand.Rand
+	cfg     GenConfig
+	m       *ir.Module
+	fe      *FE
+	tab     *ir.Global
+	helpers []*ir.Func
+
+	scalars []string // declared scalar variable names in current function
+	arrays  []string // declared arrays in current function
+	loops   int      // loops emitted in current function
+	uniq    int
+}
+
+func (g *gen) name(prefix string) string {
+	g.uniq++
+	return fmt.Sprintf("%s%d", prefix, g.uniq)
+}
+
+// genHelper emits a small pure-ish helper function of 1–3 parameters.
+func (g *gen) genHelper(i int) {
+	fe := g.fe
+	np := 1 + g.rng.Intn(3)
+	params := make([]string, np)
+	for j := range params {
+		params[j] = fmt.Sprintf("p%d", j)
+	}
+	f := fe.Begin(fmt.Sprintf("helper%d", i), ir.I32, params...)
+	g.scalars = append([]string(nil), params...)
+	g.arrays = nil
+	g.loops = 0
+	for s := 0; s < 1+g.rng.Intn(2); s++ {
+		v := g.name("h")
+		fe.Var(v, int64(g.rng.Intn(64)))
+		g.scalars = append(g.scalars, v)
+	}
+	g.genStmts(1+g.rng.Intn(g.cfg.MaxStmts), g.cfg.MaxDepth-1)
+	fe.Ret(g.expr(2))
+	g.helpers = append(g.helpers, f)
+}
+
+// genMain emits the main function: declarations, a statement soup, and a
+// printed checksum so every computation is observable.
+func (g *gen) genMain() {
+	fe := g.fe
+	fe.Begin("main", ir.I32)
+	g.scalars = nil
+	g.arrays = nil
+	g.loops = 0
+	nv := 2 + g.rng.Intn(4)
+	for i := 0; i < nv; i++ {
+		v := g.name("v")
+		fe.Var(v, int64(g.rng.Intn(256)))
+		g.scalars = append(g.scalars, v)
+	}
+	na := 1 + g.rng.Intn(2)
+	for i := 0; i < na; i++ {
+		a := g.name("arr")
+		fe.Arr(a, g.cfg.ArraySize)
+		g.arrays = append(g.arrays, a)
+		// Initialize so reads are deterministic even without stores.
+		fe.For(g.name("ini"), 0, int64(g.cfg.ArraySize), 1, func(iv func() ir.Value) {
+			fe.Put(a, iv(), fe.And(fe.Mul(iv(), fe.C(int64(3+g.rng.Intn(61)))), fe.C(0xffff)))
+		})
+	}
+	g.genStmts(2+g.rng.Intn(g.cfg.MaxStmts), g.cfg.MaxDepth)
+
+	// Checksum: print and return a mix of everything live.
+	sum := fe.C(0)
+	for _, v := range g.scalars {
+		sum = fe.Xor(fe.Add(sum, fe.V(v)), fe.Shl(sum, fe.C(1)))
+	}
+	for _, a := range g.arrays {
+		acc := g.name("acc")
+		fe.Var(acc, 0)
+		fe.For(g.name("chk"), 0, int64(g.cfg.ArraySize), 1, func(iv func() ir.Value) {
+			fe.Set(acc, fe.Add(fe.V(acc), fe.Get(a, iv())))
+		})
+		sum = fe.Xor(sum, fe.V(acc))
+	}
+	fe.Print(sum)
+	fe.Ret(fe.And(sum, fe.C(0x7fffffff)))
+}
+
+// idx returns an in-bounds array index expression (masked to the
+// power-of-two array size, so every access is safe even if speculated).
+func (g *gen) idx() ir.Value {
+	return g.fe.And(g.expr(1), g.fe.C(int64(g.cfg.ArraySize-1)))
+}
+
+// expr builds a random integer expression of bounded depth from the live
+// scalars, array reads, table reads and helper calls.
+func (g *gen) expr(depth int) ir.Value {
+	fe := g.fe
+	if depth <= 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fe.C(int64(g.rng.Intn(512) - 128))
+		default:
+			if len(g.scalars) == 0 {
+				return fe.C(int64(g.rng.Intn(64)))
+			}
+			return fe.V(g.scalars[g.rng.Intn(len(g.scalars))])
+		}
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		return fe.Add(g.expr(depth-1), g.expr(depth-1))
+	case 1:
+		return fe.Sub(g.expr(depth-1), g.expr(depth-1))
+	case 2:
+		return fe.Mul(g.expr(depth-1), g.expr(depth-1))
+	case 3:
+		// Division by a guaranteed non-zero value: (e | 1).
+		return fe.Div(g.expr(depth-1), fe.Or(g.expr(depth-1), fe.C(1)))
+	case 4:
+		return fe.Rem(g.expr(depth-1), fe.Or(g.expr(depth-1), fe.C(1)))
+	case 5:
+		return fe.And(g.expr(depth-1), g.expr(depth-1))
+	case 6:
+		return fe.Or(g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		return fe.Xor(g.expr(depth-1), g.expr(depth-1))
+	case 8:
+		return fe.Shl(g.expr(depth-1), fe.C(int64(g.rng.Intn(5))))
+	case 9:
+		return fe.Sar(g.expr(depth-1), fe.C(int64(g.rng.Intn(5))))
+	case 10:
+		if len(g.arrays) > 0 {
+			return fe.Get(g.arrays[g.rng.Intn(len(g.arrays))], g.idx())
+		}
+		return fe.GetG(g.tab, g.idx())
+	default:
+		if len(g.helpers) > 0 && g.rng.Intn(2) == 0 {
+			h := g.helpers[g.rng.Intn(len(g.helpers))]
+			args := make([]ir.Value, len(h.Params))
+			for i := range args {
+				args[i] = g.expr(depth - 1)
+			}
+			return fe.Call(h, args...)
+		}
+		return fe.GetG(g.tab, g.idx())
+	}
+}
+
+// cond builds a random i1 condition.
+func (g *gen) cond() ir.Value {
+	preds := []ir.CmpPred{ir.CmpEQ, ir.CmpNE, ir.CmpSLT, ir.CmpSLE, ir.CmpSGT, ir.CmpSGE}
+	return g.fe.Cmp(preds[g.rng.Intn(len(preds))], g.expr(1), g.expr(1))
+}
+
+// genStmts emits n random statements at the given remaining nesting depth.
+func (g *gen) genStmts(n, depth int) {
+	for i := 0; i < n; i++ {
+		g.genStmt(depth)
+	}
+}
+
+func (g *gen) genStmt(depth int) {
+	fe := g.fe
+	// Weighted statement mix: loops and conditionals dominate real HLS
+	// kernels, so they are drawn more often than straight-line assignments.
+	choice := [...]int{0, 0, 1, 2, 3, 4, 5, 6, 6, 7, 7, 8, 9, 10}[g.rng.Intn(14)]
+	if depth <= 0 && choice >= 6 {
+		choice = g.rng.Intn(6)
+	}
+	switch choice {
+	case 0, 1, 2: // assignment
+		if len(g.scalars) > 0 {
+			fe.Set(g.scalars[g.rng.Intn(len(g.scalars))], g.expr(2))
+			return
+		}
+		fallthrough
+	case 3: // array store
+		if len(g.arrays) > 0 {
+			fe.Put(g.arrays[g.rng.Intn(len(g.arrays))], g.idx(), g.expr(2))
+			return
+		}
+		fe.Set(g.scalars[g.rng.Intn(len(g.scalars))], g.expr(2))
+	case 4: // new variable
+		v := g.name("t")
+		fe.Var(v, int64(g.rng.Intn(128)))
+		g.scalars = append(g.scalars, v)
+	case 5: // compound assignment through an if-free mix
+		if len(g.scalars) > 0 {
+			v := g.scalars[g.rng.Intn(len(g.scalars))]
+			fe.Set(v, fe.Add(fe.V(v), g.expr(1)))
+		}
+	case 6: // if / if-else
+		var els func()
+		if g.rng.Intn(2) == 0 {
+			els = func() { g.genStmts(1+g.rng.Intn(2), depth-1) }
+		}
+		fe.If(g.cond(), func() { g.genStmts(1+g.rng.Intn(2), depth-1) }, els)
+	case 7: // counted loop
+		if g.loops >= g.cfg.MaxLoops {
+			g.genStmt(0)
+			return
+		}
+		g.loops++
+		trip := int64(1 + g.rng.Intn(g.cfg.MaxTripHint))
+		fe.For(g.name("i"), 0, trip, 1, func(iv func() ir.Value) {
+			g.genStmts(1+g.rng.Intn(2), depth-1)
+			if len(g.scalars) > 0 && g.rng.Intn(2) == 0 {
+				v := g.scalars[g.rng.Intn(len(g.scalars))]
+				fe.Set(v, fe.Add(fe.V(v), iv()))
+			}
+		})
+	case 8: // switch
+		nv := 2 + g.rng.Intn(3)
+		vals := make([]int64, nv)
+		cases := make([]func(), nv)
+		for i := range vals {
+			vals[i] = int64(i)
+			cases[i] = func() { g.genStmts(1, depth-1) }
+		}
+		fe.Switch(fe.And(g.expr(1), fe.C(7)), vals, cases,
+			func() { g.genStmts(1, depth-1) })
+	case 9: // reduction loop with a helper call (the mag()/norm() idiom)
+		if g.loops >= g.cfg.MaxLoops || len(g.helpers) == 0 || len(g.scalars) == 0 {
+			g.genStmt(0)
+			return
+		}
+		g.loops++
+		h := g.helpers[g.rng.Intn(len(g.helpers))]
+		acc := g.scalars[g.rng.Intn(len(g.scalars))]
+		// Half the reductions pass a loop-invariant argument (LICM bait,
+		// the mag() idiom); the other half genuinely depend on the
+		// induction variable so hoisting is not always the answer.
+		invariant := g.rng.Intn(2) == 0
+		inv := g.expr(1)
+		trip := int64(4 + g.rng.Intn(g.cfg.MaxTripHint))
+		fe.For(g.name("r"), 0, trip, 1, func(iv func() ir.Value) {
+			args := make([]ir.Value, len(h.Params))
+			for i := range args {
+				if i == 0 && invariant {
+					args[i] = inv
+				} else {
+					args[i] = iv()
+				}
+			}
+			fe.Set(acc, fe.Add(fe.V(acc), fe.Call(h, args...)))
+		})
+	default: // print (observability points)
+		fe.Print(g.expr(2))
+	}
+}
+
+// GenerateFiltered draws programs from successive seeds until one passes
+// the execution filter (terminates within limits), mirroring the paper's
+// CSmith filtering step. It returns the module and the seed that produced
+// it.
+func GenerateFiltered(startSeed int64, cfg GenConfig) (*ir.Module, int64) {
+	for seed := startSeed; ; seed++ {
+		m := Generate(seed, cfg)
+		if err := m.Verify(); err != nil {
+			continue
+		}
+		if _, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits); err != nil {
+			continue
+		}
+		return m, seed
+	}
+}

@@ -1,0 +1,200 @@
+package progen
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+)
+
+func TestBenchmarksVerifyAndRun(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := Benchmark(name)
+			if m == nil {
+				t.Fatalf("Benchmark(%q) returned nil", name)
+			}
+			if err := m.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			res, err := interp.Run(m, interp.DefaultLimits)
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if len(res.Trace) == 0 {
+				t.Fatalf("benchmark prints nothing; not observable")
+			}
+			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			if rep.Cycles <= 0 {
+				t.Fatalf("non-positive cycle estimate %d", rep.Cycles)
+			}
+			t.Logf("%s: cycles=%d steps=%d exit=%d trace=%v",
+				name, rep.Cycles, rep.Steps, res.Exit, res.Trace)
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		a, _ := interp.Run(Benchmark(name), interp.DefaultLimits)
+		b, _ := interp.Run(Benchmark(name), interp.DefaultLimits)
+		if a.Exit != b.Exit || len(a.Trace) != len(b.Trace) {
+			t.Fatalf("%s: nondeterministic result", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := Generate(seed, DefaultGen)
+		b := Generate(seed, DefaultGen)
+		if a.String() != b.String() {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+	}
+}
+
+func TestGenerateFilteredRuns(t *testing.T) {
+	seed := int64(100)
+	for i := 0; i < 10; i++ {
+		m, used := GenerateFiltered(seed, DefaultGen)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", used, err)
+		}
+		res, err := interp.Run(m, interp.DefaultLimits)
+		if err != nil {
+			t.Fatalf("seed %d: run: %v", used, err)
+		}
+		if len(res.Trace) == 0 {
+			t.Errorf("seed %d: no observable output", used)
+		}
+		seed = used + 1
+	}
+}
+
+func TestGeneratedProgramsAreO0Shaped(t *testing.T) {
+	m, _ := GenerateFiltered(1, DefaultGen)
+	// Every local must be an alloca in main's entry block; at least a few
+	// loads should exist (the -O0 shape mem2reg exists to clean up).
+	main := m.Func("main")
+	if main == nil {
+		t.Fatal("no main")
+	}
+	allocas, loads := 0, 0
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op.String() {
+			case "alloca":
+				allocas++
+			case "load":
+				loads++
+			}
+		}
+	}
+	if allocas < 2 || loads < 5 {
+		t.Fatalf("generated main does not look like -O0 output: %d allocas, %d loads", allocas, loads)
+	}
+}
+
+// TestGeneratedProgramsSafety: every generated program must execute without
+// traps and within limits across many seeds — the safety contract the
+// speculative passes (licm's load hoisting) rely on.
+func TestGeneratedProgramsSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many seeds")
+	}
+	bad := 0
+	for seed := int64(2000); seed < 2060; seed++ {
+		m := Generate(seed, DefaultGen)
+		if err := m.Verify(); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		if _, err := interp.Run(m, interp.DefaultLimits); err != nil {
+			// Programs may exceed limits (filtered later) but must never
+			// trap on memory or division.
+			if errors.Is(err, interp.ErrDivByZero) || errors.Is(err, interp.ErrOOB) {
+				t.Fatalf("seed %d: unsafe program: %v", seed, err)
+			}
+			bad++
+		}
+	}
+	if bad > 20 {
+		t.Fatalf("%d/60 programs exceeded limits; generator too aggressive", bad)
+	}
+}
+
+// TestBenchmarkCycleBudgets: benchmarks must be heavy enough that phase
+// ordering matters, but light enough for fast iteration.
+func TestBenchmarkCycleBudgets(t *testing.T) {
+	for _, name := range BenchmarkNames {
+		rep, err := hls.Profile(Benchmark(name), hls.DefaultConfig, interp.DefaultLimits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Cycles < 1000 {
+			t.Errorf("%s: only %d cycles; too small to optimize meaningfully", name, rep.Cycles)
+		}
+		if rep.Cycles > 1_000_000 {
+			t.Errorf("%s: %d cycles; too slow for the evaluation loop", name, rep.Cycles)
+		}
+	}
+}
+
+// TestPrintParseRoundTrip round-trips every benchmark and several random
+// programs through the textual IR format, requiring stable output and
+// identical execution behaviour.
+func TestPrintParseRoundTrip(t *testing.T) {
+	subjects := map[string]*ir.Module{}
+	for _, name := range BenchmarkNames {
+		subjects[name] = Benchmark(name)
+	}
+	seed := int64(4000)
+	for i := 0; i < 5; i++ {
+		m, used := GenerateFiltered(seed, DefaultGen)
+		seed = used + 1
+		subjects[m.Name] = m
+	}
+	for name, m := range subjects {
+		s1 := m.String()
+		m2, err := ir.Parse(s1)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		if err := m2.Verify(); err != nil {
+			t.Fatalf("%s: parsed module fails verify: %v", name, err)
+		}
+		if s2 := m2.String(); s1 != s2 {
+			// Find the first diverging line for a usable failure message.
+			l1, l2 := strings.Split(s1, "\n"), strings.Split(s2, "\n")
+			for i := range l1 {
+				if i >= len(l2) || l1[i] != l2[i] {
+					t.Fatalf("%s: round trip diverges at line %d:\n  printed:  %q\n  reparsed: %q",
+						name, i+1, l1[i], lineOrEOF(l2, i))
+				}
+			}
+			t.Fatalf("%s: reparsed output longer than original", name)
+		}
+		r1, err1 := interp.Run(m, interp.DefaultLimits)
+		r2, err2 := interp.Run(m2, interp.DefaultLimits)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: execution divergence: %v vs %v", name, err1, err2)
+		}
+		if err1 == nil && (r1.Exit != r2.Exit || len(r1.Trace) != len(r2.Trace)) {
+			t.Fatalf("%s: behaviour divergence after round trip", name)
+		}
+	}
+}
+
+func lineOrEOF(lines []string, i int) string {
+	if i < len(lines) {
+		return lines[i]
+	}
+	return "<EOF>"
+}

@@ -1,0 +1,193 @@
+package rl
+
+import (
+	"math/rand"
+
+	"autophase/internal/nn"
+)
+
+// DQNConfig holds the deep Q-network hyperparameters. DQN is the algorithm
+// the AutoPhase line started from (the FCCM'19 predecessor paper used
+// Q-learning before the MLSys'20 paper moved to policy-gradient methods);
+// it is included as an extension baseline for single-head action spaces.
+type DQNConfig struct {
+	Hidden        []int
+	Gamma         float64
+	LR            float64
+	BufferSize    int
+	BatchSize     int
+	TargetEvery   int     // target-network sync period (gradient steps)
+	EpsStart      float64 // epsilon-greedy schedule
+	EpsEnd        float64
+	EpsDecaySteps int
+	LearnStart    int // steps before learning begins
+	Seed          int64
+}
+
+// DefaultDQN is a small-problem configuration.
+func DefaultDQN() DQNConfig {
+	return DQNConfig{
+		Hidden:        []int{64, 64},
+		Gamma:         0.99,
+		LR:            1e-3,
+		BufferSize:    4096,
+		BatchSize:     32,
+		TargetEvery:   200,
+		EpsStart:      1.0,
+		EpsEnd:        0.05,
+		EpsDecaySteps: 2000,
+		LearnStart:    200,
+		Seed:          1,
+	}
+}
+
+// replayItem is one transition in the replay buffer.
+type replayItem struct {
+	obs    []float64
+	action int
+	reward float64
+	next   []float64
+	done   bool
+}
+
+// DQN is a deep Q-learning agent over a single categorical action head.
+type DQN struct {
+	Cfg    DQNConfig
+	Q      *nn.MLP
+	Target *nn.MLP
+	Filter *MeanStd
+
+	rng      *rand.Rand
+	opt      *nn.Adam
+	buf      []replayItem
+	bufPos   int
+	steps    int
+	episodes int
+	updates  int
+}
+
+// NewDQN builds the online and target networks.
+func NewDQN(cfg DQNConfig, obsSize, numActions int) *DQN {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sizes := append(append([]int{obsSize}, cfg.Hidden...), numActions)
+	q := nn.NewMLP(rng, nn.ReLU, sizes...)
+	d := &DQN{
+		Cfg: cfg, Q: q, Target: q.Clone(),
+		Filter: NewMeanStd(obsSize), rng: rng,
+	}
+	d.opt = nn.NewAdam(q, cfg.LR)
+	d.opt.MaxNorm = 10
+	return d
+}
+
+func (d *DQN) epsilon() float64 {
+	frac := float64(d.steps) / float64(d.Cfg.EpsDecaySteps)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.Cfg.EpsStart + (d.Cfg.EpsEnd-d.Cfg.EpsStart)*frac
+}
+
+// Act picks an action; greedy disables exploration. The observation passes
+// through the frozen filter.
+func (d *DQN) Act(obs []float64, greedy bool) []int {
+	fobs := d.Filter.Apply(obs)
+	if !greedy && d.rng.Float64() < d.epsilon() {
+		n := d.Q.Sizes[len(d.Q.Sizes)-1]
+		return []int{d.rng.Intn(n)}
+	}
+	return []int{nn.Argmax(d.Q.Forward(fobs))}
+}
+
+// Train runs epsilon-greedy episodes with replay until totalSteps
+// environment steps are consumed. Only single-head environments are
+// supported.
+func (d *DQN) Train(env Env, totalSteps int, cb func(Stats)) {
+	if len(env.ActionDims()) != 1 {
+		panic("rl: DQN supports single-head action spaces only")
+	}
+	obs := d.Filter.ObserveApply(env.Reset())
+	epReward := 0.0
+	var epRewards []float64
+	for d.steps < totalSteps {
+		var action int
+		if d.rng.Float64() < d.epsilon() {
+			action = d.rng.Intn(env.ActionDims()[0])
+		} else {
+			action = nn.Argmax(d.Q.Forward(obs))
+		}
+		rawNext, r, done := env.Step([]int{action})
+		next := d.Filter.ObserveApply(rawNext)
+		d.push(replayItem{
+			obs: append([]float64(nil), obs...), action: action,
+			reward: r, next: append([]float64(nil), next...), done: done,
+		})
+		epReward += r
+		obs = next
+		d.steps++
+		if len(d.buf) >= d.Cfg.LearnStart {
+			d.learn()
+		}
+		if done {
+			d.episodes++
+			epRewards = append(epRewards, epReward)
+			if len(epRewards) > 32 {
+				epRewards = epRewards[1:]
+			}
+			if cb != nil {
+				var s float64
+				for _, x := range epRewards {
+					s += x
+				}
+				cb(Stats{
+					TotalSteps: d.steps, TotalEpisodes: d.episodes,
+					EpisodeRewardMean: s / float64(len(epRewards)),
+				})
+			}
+			epReward = 0
+			obs = d.Filter.ObserveApply(env.Reset())
+		}
+	}
+}
+
+func (d *DQN) push(it replayItem) {
+	if len(d.buf) < d.Cfg.BufferSize {
+		d.buf = append(d.buf, it)
+		return
+	}
+	d.buf[d.bufPos] = it
+	d.bufPos = (d.bufPos + 1) % d.Cfg.BufferSize
+}
+
+// learn performs one minibatch TD update against the target network.
+func (d *DQN) learn() {
+	g := d.Q.NewGrads()
+	scale := 1.0 / float64(d.Cfg.BatchSize)
+	for k := 0; k < d.Cfg.BatchSize; k++ {
+		it := d.buf[d.rng.Intn(len(d.buf))]
+		target := it.reward
+		if !it.done {
+			target += d.Cfg.Gamma * maxOf(d.Target.Forward(it.next))
+		}
+		qs := d.Q.Forward(it.obs)
+		td := qs[it.action] - target
+		grad := make([]float64, len(qs))
+		grad[it.action] = 2 * td * scale
+		d.Q.Backward(it.obs, grad, g)
+	}
+	d.opt.Step(d.Q, g)
+	d.updates++
+	if d.updates%d.Cfg.TargetEvery == 0 {
+		d.Target.CopyFrom(d.Q)
+	}
+}
+
+func maxOf(v []float64) float64 {
+	best := v[0]
+	for _, x := range v[1:] {
+		if x > best {
+			best = x
+		}
+	}
+	return best
+}

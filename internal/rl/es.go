@@ -1,0 +1,162 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ESConfig holds the evolution-strategies hyperparameters (Salimans et al.
+// 2017: antithetic sampling, rank-shaped fitness, SGD on the natural
+// gradient estimate). The paper's RL-ES uses this to update the same policy
+// network A3C uses, replacing backpropagation.
+type ESConfig struct {
+	Hidden          []int
+	Population      int // perturbation pairs per generation
+	Sigma           float64
+	LR              float64
+	Seed            int64
+	EpisodesPerEval int
+}
+
+// DefaultES mirrors the paper's setting.
+func DefaultES() ESConfig {
+	return ESConfig{
+		Hidden:          []int{256, 256},
+		Population:      8,
+		Sigma:           0.05,
+		LR:              0.02,
+		Seed:            1,
+		EpisodesPerEval: 1,
+	}
+}
+
+// ES trains a policy network with evolution strategies.
+type ES struct {
+	Cfg    ESConfig
+	Policy *Policy
+	Filter *MeanStd
+	rng    *rand.Rand
+
+	steps    int
+	episodes int
+}
+
+// NewES builds the policy network.
+func NewES(cfg ESConfig, obsSize int, dims []int) *ES {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &ES{Cfg: cfg, Policy: NewPolicy(rng, obsSize, dims, cfg.Hidden...),
+		Filter: NewMeanStd(obsSize), rng: rng}
+}
+
+// Act picks an action tuple.
+func (e *ES) Act(obs []float64, greedy bool) []int {
+	obs = e.Filter.Apply(obs)
+	if greedy {
+		return e.Policy.Greedy(obs)
+	}
+	a, _ := e.Policy.Sample(e.rng, obs)
+	return a
+}
+
+// evaluate runs the (stochastic) policy for EpisodesPerEval episodes and
+// returns the mean return.
+func (e *ES) evaluate(pol *Policy, env Env) float64 {
+	total := 0.0
+	for ep := 0; ep < e.Cfg.EpisodesPerEval; ep++ {
+		obs := e.Filter.ObserveApply(env.Reset())
+		for {
+			a, _ := pol.Sample(e.rng, obs)
+			next, r, done := env.Step(a)
+			total += r
+			e.steps++
+			obs = e.Filter.ObserveApply(next)
+			if done {
+				e.episodes++
+				break
+			}
+		}
+	}
+	return total / float64(e.Cfg.EpisodesPerEval)
+}
+
+// Generation runs one ES generation over the environments (each
+// perturbation is evaluated on a cycling environment) and applies the
+// meta-update. It returns iteration statistics.
+func (e *ES) Generation(envs []Env) Stats {
+	n := e.Policy.Net.NumParams()
+	type cand struct {
+		eps []float64
+		fit float64
+	}
+	cands := make([]cand, 0, 2*e.Cfg.Population)
+	ei := 0
+	for p := 0; p < e.Cfg.Population; p++ {
+		eps := make([]float64, n)
+		for i := range eps {
+			eps[i] = e.rng.NormFloat64()
+		}
+		for _, sign := range []float64{1, -1} {
+			trial := e.Policy.Net.Clone()
+			signed := make([]float64, n)
+			for i := range eps {
+				signed[i] = sign * eps[i]
+			}
+			trial.AddNoise(signed, e.Cfg.Sigma)
+			tp := &Policy{Net: trial, Dims: e.Policy.Dims}
+			fit := e.evaluate(tp, envs[ei%len(envs)])
+			ei++
+			cands = append(cands, cand{signed, fit})
+		}
+	}
+	// Rank-shaped fitness (centered ranks), as in Salimans et al.
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		for j := i + 1; j < len(order); j++ {
+			if cands[order[j]].fit < cands[order[i]].fit {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	shaped := make([]float64, len(cands))
+	for rank, idx := range order {
+		shaped[idx] = float64(rank)/float64(len(cands)-1) - 0.5
+	}
+	// Gradient estimate g = (1/(N*sigma)) * sum shaped_i * eps_i, applied
+	// ascending (we maximize return): theta += lr * g.
+	upd := make([]float64, n)
+	for i, c := range cands {
+		w := shaped[i]
+		for k, v := range c.eps {
+			upd[k] += w * v
+		}
+	}
+	e.Policy.Net.AddNoise(upd, e.Cfg.LR/(float64(len(cands))*e.Cfg.Sigma))
+
+	best := math.Inf(-1)
+	mean := 0.0
+	for _, c := range cands {
+		mean += c.fit
+		if c.fit > best {
+			best = c.fit
+		}
+	}
+	mean /= float64(len(cands))
+	return Stats{
+		TotalSteps:        e.steps,
+		TotalEpisodes:     e.episodes,
+		EpisodeRewardMean: mean,
+	}
+}
+
+// Train runs generations until totalSteps environment steps are consumed.
+func (e *ES) Train(envs []Env, totalSteps int, cb func(Stats)) {
+	for e.steps < totalSteps {
+		st := e.Generation(envs)
+		if cb != nil {
+			cb(st)
+		}
+	}
+}

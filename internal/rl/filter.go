@@ -1,0 +1,61 @@
+package rl
+
+import (
+	"math"
+	"sync"
+)
+
+// MeanStd is a running observation normalizer (Welford's algorithm) —
+// RLlib's default MeanStdFilter, which the paper's agents ran behind. Raw
+// program-feature observations span orders of magnitude; without the
+// filter the policy network saturates before it can learn.
+type MeanStd struct {
+	mu   sync.Mutex
+	n    float64
+	mean []float64
+	m2   []float64
+}
+
+// NewMeanStd builds a filter for dim-sized observations.
+func NewMeanStd(dim int) *MeanStd {
+	return &MeanStd{mean: make([]float64, dim), m2: make([]float64, dim)}
+}
+
+// Observe folds one raw observation into the running statistics.
+func (f *MeanStd) Observe(obs []float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.n++
+	for i, x := range obs {
+		if i >= len(f.mean) {
+			break
+		}
+		d := x - f.mean[i]
+		f.mean[i] += d / f.n
+		f.m2[i] += d * (x - f.mean[i])
+	}
+}
+
+// Apply returns the standardized observation (x−mean)/std without updating
+// the statistics.
+func (f *MeanStd) Apply(obs []float64) []float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]float64, len(obs))
+	for i, x := range obs {
+		if i >= len(f.mean) || f.n < 2 {
+			out[i] = x
+			continue
+		}
+		std := math.Sqrt(f.m2[i]/(f.n-1)) + 1e-8
+		out[i] = (x - f.mean[i]) / std
+	}
+	return out
+}
+
+// ObserveApply updates the statistics with obs and returns it filtered —
+// the training-time path.
+func (f *MeanStd) ObserveApply(obs []float64) []float64 {
+	f.Observe(obs)
+	return f.Apply(obs)
+}

@@ -1,0 +1,158 @@
+// Package rl implements the deep reinforcement-learning algorithms the
+// paper evaluates — PPO (clipped surrogate with GAE), A3C (asynchronous
+// advantage actor-critic) and OpenAI-style evolution strategies — over a
+// gym-like environment interface with factored categorical actions (the
+// multiple-passes-per-action variant of §5.2 needs N simultaneous
+// sub-actions).
+package rl
+
+import (
+	"math/rand"
+
+	"autophase/internal/nn"
+)
+
+// Env is a gym-like episodic environment. Actions are factored: one
+// categorical choice per entry of ActionDims (a single-action space is
+// ActionDims() == [K]).
+type Env interface {
+	// Reset starts a new episode and returns the initial observation.
+	Reset() []float64
+	// Step applies one action tuple; it returns the next observation, the
+	// reward, and whether the episode ended.
+	Step(actions []int) (obs []float64, reward float64, done bool)
+	// ActionDims lists the cardinality of each action head.
+	ActionDims() []int
+	// ObsSize is the observation vector length.
+	ObsSize() int
+}
+
+// Policy wraps a logits network over factored heads.
+type Policy struct {
+	Net  *nn.MLP
+	Dims []int
+}
+
+// NewPolicy builds a policy MLP with the given hidden sizes.
+func NewPolicy(rng *rand.Rand, obsSize int, dims []int, hidden ...int) *Policy {
+	total := 0
+	for _, d := range dims {
+		total += d
+	}
+	sizes := append(append([]int{obsSize}, hidden...), total)
+	return &Policy{Net: nn.NewMLP(rng, nn.ReLU, sizes...), Dims: dims}
+}
+
+// heads slices flat logits into per-head logit vectors.
+func (p *Policy) heads(logits []float64) [][]float64 {
+	out := make([][]float64, len(p.Dims))
+	off := 0
+	for i, d := range p.Dims {
+		out[i] = logits[off : off+d]
+		off += d
+	}
+	return out
+}
+
+// Sample draws an action tuple and returns it with its total log-prob.
+func (p *Policy) Sample(rng *rand.Rand, obs []float64) (actions []int, logp float64) {
+	logits := p.Net.Forward(obs)
+	for _, h := range p.heads(logits) {
+		probs := nn.Softmax(h)
+		a := nn.SampleCategorical(rng, probs)
+		actions = append(actions, a)
+		logp += nn.LogSoftmax(h)[a]
+	}
+	return actions, logp
+}
+
+// Greedy returns the argmax action tuple.
+func (p *Policy) Greedy(obs []float64) []int {
+	logits := p.Net.Forward(obs)
+	var actions []int
+	for _, h := range p.heads(logits) {
+		actions = append(actions, nn.Argmax(h))
+	}
+	return actions
+}
+
+// LogProb computes the total log-probability of an action tuple, plus the
+// per-head logits (for gradient computation) and mean entropy.
+func (p *Policy) LogProb(obs []float64, actions []int) (logp float64, logits []float64, entropy float64) {
+	logits = p.Net.Forward(obs)
+	hs := p.heads(logits)
+	for i, h := range hs {
+		logp += nn.LogSoftmax(h)[actions[i]]
+		entropy += nn.Entropy(nn.Softmax(h))
+	}
+	entropy /= float64(len(hs))
+	return logp, logits, entropy
+}
+
+// gradForHeads assembles dL/dlogits (flat) from per-head contributions:
+// policy-gradient coefficient pgCoef (multiplying -grad logp) and entropy
+// bonus entCoef (ascending entropy => descending -entCoef*H).
+func (p *Policy) gradForHeads(logits []float64, actions []int, pgCoef, entCoef float64) []float64 {
+	grad := make([]float64, len(logits))
+	off := 0
+	for i, d := range p.Dims {
+		h := logits[off : off+d]
+		pg := nn.CategoricalGrad(h, actions[i], pgCoef)
+		var eg []float64
+		if entCoef != 0 {
+			eg = nn.EntropyGrad(h)
+		}
+		for j := 0; j < d; j++ {
+			g := pg[j]
+			if eg != nil {
+				g -= entCoef * eg[j] / float64(len(p.Dims))
+			}
+			grad[off+j] = g
+		}
+		off += d
+	}
+	return grad
+}
+
+// Transition is one environment step in a rollout buffer.
+type Transition struct {
+	Obs     []float64
+	Actions []int
+	Reward  float64
+	Done    bool
+	LogP    float64
+	Value   float64
+	Adv     float64
+	Ret     float64
+}
+
+// computeGAE fills Adv and Ret over a rollout using generalized advantage
+// estimation: delta_t = r_t + γ·V(s_{t+1})·(1−done_t) − V(s_t) and
+// adv_t = delta_t + γλ·(1−done_t)·adv_{t+1}. lastValue bootstraps a rollout
+// truncated mid-episode.
+func computeGAE(buf []Transition, gamma, lambda, lastValue float64) {
+	adv := 0.0
+	nextValue := lastValue
+	for i := len(buf) - 1; i >= 0; i-- {
+		nonTerm := 1.0
+		if buf[i].Done {
+			nonTerm = 0
+		}
+		delta := buf[i].Reward + gamma*nextValue*nonTerm - buf[i].Value
+		adv = delta + gamma*lambda*nonTerm*adv
+		buf[i].Adv = adv
+		buf[i].Ret = adv + buf[i].Value
+		nextValue = buf[i].Value
+	}
+}
+
+// Stats reports one training iteration.
+type Stats struct {
+	Iteration         int
+	TotalSteps        int
+	TotalEpisodes     int
+	EpisodeRewardMean float64
+	PolicyLoss        float64
+	ValueLoss         float64
+	Entropy           float64
+}

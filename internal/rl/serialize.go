@@ -1,0 +1,88 @@
+package rl
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"autophase/internal/nn"
+)
+
+// Snapshot is the persisted form of a trained agent: the policy network,
+// the action-head layout, and the frozen observation-filter statistics, so
+// inference sessions reproduce training-time behaviour exactly.
+type Snapshot struct {
+	Kind       string    `json:"kind"` // "ppo", "a3c", "es"
+	Dims       []int     `json:"dims"`
+	Policy     *nn.MLP   `json:"policy"`
+	Value      *nn.MLP   `json:"value,omitempty"`
+	FilterN    float64   `json:"filter_n"`
+	FilterMean []float64 `json:"filter_mean"`
+	FilterM2   []float64 `json:"filter_m2"`
+}
+
+func filterState(f *MeanStd) (float64, []float64, []float64) {
+	if f == nil {
+		return 0, nil, nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n, append([]float64(nil), f.mean...), append([]float64(nil), f.m2...)
+}
+
+func restoreFilter(n float64, mean, m2 []float64) *MeanStd {
+	if mean == nil {
+		return nil
+	}
+	return &MeanStd{n: n, mean: mean, m2: m2}
+}
+
+// Snapshot captures the PPO agent's inference-relevant state.
+func (p *PPO) Snapshot() *Snapshot {
+	n, mean, m2 := filterState(p.Filter)
+	return &Snapshot{
+		Kind: "ppo", Dims: p.Policy.Dims,
+		Policy: p.Policy.Net, Value: p.Value,
+		FilterN: n, FilterMean: mean, FilterM2: m2,
+	}
+}
+
+// RestorePPO rebuilds an inference-ready PPO agent from a snapshot.
+func RestorePPO(s *Snapshot) (*PPO, error) {
+	if s.Kind != "ppo" {
+		return nil, fmt.Errorf("rl: snapshot kind %q is not ppo", s.Kind)
+	}
+	cfg := DefaultPPO()
+	p := NewPPO(cfg, s.Policy.Sizes[0], s.Dims)
+	p.Policy.Net = s.Policy
+	if s.Value != nil {
+		p.Value = s.Value
+	}
+	p.Filter = restoreFilter(s.FilterN, s.FilterMean, s.FilterM2)
+	return p, nil
+}
+
+// Save writes the snapshot to a JSON file.
+func (s *Snapshot) Save(path string) error {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadSnapshot reads a snapshot from a JSON file.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("rl: %s: %w", path, err)
+	}
+	if s.Policy == nil || len(s.Dims) == 0 {
+		return nil, fmt.Errorf("rl: %s: incomplete snapshot", path)
+	}
+	return &s, nil
+}

@@ -1,0 +1,246 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+)
+
+// OpenTuner reproduces OpenTuner's default search strategy: an AUC-bandit
+// meta-technique directing an ensemble of six sub-techniques — particle
+// swarm optimization and a genetic algorithm, each under three crossover
+// settings (§6.1 of the paper). Each step the bandit picks the technique
+// with the best exploitation/exploration score, asks it for one candidate,
+// and credits it when the candidate improves the incumbent.
+func OpenTuner(o *Objective, rng *rand.Rand, budget int) Result {
+	techs := []technique{
+		newPSO(o, rng, OnePoint),
+		newPSO(o, rng, TwoPoint),
+		newPSO(o, rng, Uniform),
+		newGATech(o, rng, OnePoint),
+		newGATech(o, rng, TwoPoint),
+		newGATech(o, rng, Uniform),
+	}
+	const window = 50
+	type use struct {
+		tech int
+		win  bool
+	}
+	var history []use
+	const c = 0.4 // exploration constant
+
+	uses := make([]int, len(techs))
+	_, best := o.Best()
+	hasBest := false
+
+	for o.Samples() < budget {
+		// AUC-bandit scores over a sliding window.
+		pick := rng.Intn(len(techs))
+		if len(history) >= len(techs) {
+			bestScore := math.Inf(-1)
+			for ti := range techs {
+				wins, n := 0, 0
+				for _, u := range history {
+					if u.tech == ti {
+						n++
+						if u.win {
+							wins++
+						}
+					}
+				}
+				var score float64
+				if n == 0 {
+					score = math.Inf(1)
+				} else {
+					auc := float64(wins) / float64(n)
+					score = auc + c*math.Sqrt(2*math.Log(float64(len(history)))/float64(n))
+				}
+				if score > bestScore {
+					bestScore = score
+					pick = ti
+				}
+			}
+		}
+		cand := techs[pick].propose()
+		v, ok := o.Evaluate(cand)
+		techs[pick].report(cand, v, ok)
+		uses[pick]++
+		win := ok && (!hasBest || v < best)
+		if win {
+			best = v
+			hasBest = true
+		}
+		history = append(history, use{pick, win})
+		if len(history) > window {
+			history = history[1:]
+		}
+	}
+	return o.result()
+}
+
+// technique is one sub-search inside the ensemble.
+type technique interface {
+	propose() []int
+	report(seq []int, val int64, ok bool)
+}
+
+// psoTech is integer particle swarm optimization: particles carry continuous
+// positions/velocities per gene, snapped to valid pass indices, with a
+// crossover-style recombination against the global best (the "crossover
+// setting" OpenTuner varies).
+type psoTech struct {
+	o        *Objective
+	rng      *rand.Rand
+	op       CrossoverOp
+	pos      [][]float64
+	vel      [][]float64
+	pbest    [][]int
+	pbestVal []int64
+	gbest    []int
+	gbestVal int64
+	cur      int
+}
+
+func newPSO(o *Objective, rng *rand.Rand, op CrossoverOp) *psoTech {
+	const particles = 8
+	p := &psoTech{o: o, rng: rng, op: op, gbestVal: math.MaxInt64}
+	for i := 0; i < particles; i++ {
+		pos := make([]float64, o.N)
+		vel := make([]float64, o.N)
+		for j := range pos {
+			pos[j] = rng.Float64() * float64(o.K)
+			vel[j] = rng.NormFloat64()
+		}
+		p.pos = append(p.pos, pos)
+		p.vel = append(p.vel, vel)
+		p.pbest = append(p.pbest, nil)
+		p.pbestVal = append(p.pbestVal, math.MaxInt64)
+	}
+	return p
+}
+
+func (p *psoTech) snap(pos []float64) []int {
+	seq := make([]int, len(pos))
+	for i, v := range pos {
+		k := int(v)
+		if k < 0 {
+			k = 0
+		}
+		if k >= p.o.K {
+			k = p.o.K - 1
+		}
+		seq[i] = k
+	}
+	return seq
+}
+
+func (p *psoTech) propose() []int {
+	i := p.cur
+	p.cur = (p.cur + 1) % len(p.pos)
+	const w, c1, c2 = 0.7, 1.4, 1.4
+	for j := range p.pos[i] {
+		var pb, gb float64
+		if p.pbest[i] != nil {
+			pb = float64(p.pbest[i][j])
+		} else {
+			pb = p.pos[i][j]
+		}
+		if p.gbest != nil {
+			gb = float64(p.gbest[j])
+		} else {
+			gb = p.pos[i][j]
+		}
+		p.vel[i][j] = w*p.vel[i][j] +
+			c1*p.rng.Float64()*(pb-p.pos[i][j]) +
+			c2*p.rng.Float64()*(gb-p.pos[i][j])
+		p.pos[i][j] += p.vel[i][j]
+		if p.pos[i][j] < 0 {
+			p.pos[i][j] = 0
+			p.vel[i][j] = -p.vel[i][j] / 2
+		}
+		if p.pos[i][j] > float64(p.o.K)-1e-9 {
+			p.pos[i][j] = float64(p.o.K) - 1e-9
+			p.vel[i][j] = -p.vel[i][j] / 2
+		}
+	}
+	seq := p.snap(p.pos[i])
+	// Crossover against the global best, per the technique's setting.
+	if p.gbest != nil {
+		a, _ := crossover(p.rng, p.op, seq, p.gbest)
+		seq = a
+	}
+	return seq
+}
+
+func (p *psoTech) report(seq []int, val int64, ok bool) {
+	if !ok {
+		return
+	}
+	i := (p.cur + len(p.pos) - 1) % len(p.pos)
+	if val < p.pbestVal[i] {
+		p.pbestVal[i] = val
+		p.pbest[i] = append([]int(nil), seq...)
+	}
+	if val < p.gbestVal {
+		p.gbestVal = val
+		p.gbest = append([]int(nil), seq...)
+	}
+}
+
+// gaTech is a steady-state GA usable one proposal at a time.
+type gaTech struct {
+	o    *Objective
+	rng  *rand.Rand
+	op   CrossoverOp
+	pop  [][]int
+	vals []int64
+	last []int
+}
+
+func newGATech(o *Objective, rng *rand.Rand, op CrossoverOp) *gaTech {
+	g := &gaTech{o: o, rng: rng, op: op}
+	for i := 0; i < 12; i++ {
+		seq := make([]int, o.N)
+		for j := range seq {
+			seq[j] = rng.Intn(o.K)
+		}
+		g.pop = append(g.pop, seq)
+		g.vals = append(g.vals, math.MaxInt64)
+	}
+	return g
+}
+
+func (g *gaTech) pickParent() []int {
+	a, b := g.rng.Intn(len(g.pop)), g.rng.Intn(len(g.pop))
+	if g.vals[a] <= g.vals[b] {
+		return g.pop[a]
+	}
+	return g.pop[b]
+}
+
+func (g *gaTech) propose() []int {
+	c1, _ := crossover(g.rng, g.op, g.pickParent(), g.pickParent())
+	for i := range c1 {
+		if g.rng.Float64() < 0.08 {
+			c1[i] = g.rng.Intn(g.o.K)
+		}
+	}
+	g.last = c1
+	return c1
+}
+
+func (g *gaTech) report(seq []int, val int64, ok bool) {
+	if !ok {
+		return
+	}
+	// Replace the worst member when the candidate beats it.
+	worst, wv := 0, int64(math.MinInt64)
+	for i, v := range g.vals {
+		if v > wv {
+			worst, wv = i, v
+		}
+	}
+	if val < wv {
+		g.pop[worst] = append([]int(nil), seq...)
+		g.vals[worst] = val
+	}
+}

@@ -1,0 +1,238 @@
+// Package search implements the black-box phase-ordering baselines the
+// paper compares against: random search, the greedy insertion algorithm of
+// Huang et al. 2013, a DEAP-style genetic algorithm, and an OpenTuner-style
+// AUC-bandit ensemble over particle-swarm and genetic sub-techniques.
+//
+// All algorithms optimize the same objective: a pass sequence (integer
+// vector over Table 1 indices) is compiled and profiled, and the estimated
+// cycle count is minimized. Every profiler invocation counts as one sample,
+// matching the paper's samples-per-program axis.
+package search
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Objective evaluates candidate pass sequences.
+type Objective struct {
+	// Eval compiles a clone of the program with the sequence and returns
+	// the estimated cycle count.
+	Eval func(seq []int) (int64, bool)
+	// K is the number of selectable passes.
+	K int
+	// N is the maximum sequence length.
+	N int
+
+	samples int
+	bestSeq []int
+	bestVal int64
+	hasBest bool
+}
+
+// Evaluate scores a sequence, tracking sample count and the incumbent.
+func (o *Objective) Evaluate(seq []int) (int64, bool) {
+	o.samples++
+	v, ok := o.Eval(seq)
+	if !ok {
+		return math.MaxInt64, false
+	}
+	if !o.hasBest || v < o.bestVal {
+		o.bestVal = v
+		o.bestSeq = append([]int(nil), seq...)
+		o.hasBest = true
+	}
+	return v, true
+}
+
+// Samples returns the number of objective evaluations so far.
+func (o *Objective) Samples() int { return o.samples }
+
+// Best returns the incumbent sequence and its value.
+func (o *Objective) Best() ([]int, int64) { return o.bestSeq, o.bestVal }
+
+// Result reports a finished search.
+type Result struct {
+	Seq     []int
+	Cycles  int64
+	Samples int
+}
+
+func (o *Objective) result() Result {
+	seq, v := o.Best()
+	return Result{Seq: seq, Cycles: v, Samples: o.Samples()}
+}
+
+// Random generates `budget` random sequences of full length N at once, as
+// the paper's `random` baseline does, and returns the best.
+func Random(o *Objective, rng *rand.Rand, budget int) Result {
+	for s := 0; s < budget; s++ {
+		seq := make([]int, o.N)
+		for i := range seq {
+			seq[i] = rng.Intn(o.K)
+		}
+		o.Evaluate(seq)
+	}
+	return o.result()
+}
+
+// Greedy is the insertion algorithm of Huang et al. 2013: repeatedly insert
+// the (pass, position) pair that lowers the cycle count the most into the
+// current sequence, stopping when no insertion helps or the budget runs
+// out.
+func Greedy(o *Objective, budget int) Result {
+	var cur []int
+	curVal, ok := o.Evaluate(cur)
+	if !ok {
+		curVal = math.MaxInt64
+	}
+	for len(cur) < o.N && o.Samples() < budget {
+		bestVal := curVal
+		var bestSeq []int
+		for p := 0; p < o.K && o.Samples() < budget; p++ {
+			for pos := 0; pos <= len(cur) && o.Samples() < budget; pos++ {
+				trial := make([]int, 0, len(cur)+1)
+				trial = append(trial, cur[:pos]...)
+				trial = append(trial, p)
+				trial = append(trial, cur[pos:]...)
+				v, ok := o.Evaluate(trial)
+				if ok && v < bestVal {
+					bestVal = v
+					bestSeq = trial
+				}
+			}
+		}
+		if bestSeq == nil {
+			break
+		}
+		cur, curVal = bestSeq, bestVal
+	}
+	return o.result()
+}
+
+// GAConfig tunes the genetic algorithm.
+type GAConfig struct {
+	Population int
+	Tournament int
+	CxProb     float64
+	MutProb    float64
+	MutIndProb float64 // per-gene mutation probability
+	Crossover  CrossoverOp
+}
+
+// CrossoverOp selects the recombination operator (OpenTuner's ensemble
+// uses GA and PSO each under three different crossover settings).
+type CrossoverOp int
+
+// Crossover operators.
+const (
+	OnePoint CrossoverOp = iota
+	TwoPoint
+	Uniform
+)
+
+// DefaultGA mirrors DEAP's basic integer GA.
+func DefaultGA() GAConfig {
+	return GAConfig{Population: 24, Tournament: 3, CxProb: 0.9, MutProb: 0.3, MutIndProb: 0.1, Crossover: TwoPoint}
+}
+
+func crossover(rng *rand.Rand, op CrossoverOp, a, b []int) ([]int, []int) {
+	n := len(a)
+	ca := append([]int(nil), a...)
+	cb := append([]int(nil), b...)
+	switch op {
+	case OnePoint:
+		if n > 1 {
+			p := 1 + rng.Intn(n-1)
+			for i := p; i < n; i++ {
+				ca[i], cb[i] = cb[i], ca[i]
+			}
+		}
+	case TwoPoint:
+		if n > 2 {
+			p := 1 + rng.Intn(n-2)
+			q := p + 1 + rng.Intn(n-p-1)
+			for i := p; i < q; i++ {
+				ca[i], cb[i] = cb[i], ca[i]
+			}
+		}
+	case Uniform:
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				ca[i], cb[i] = cb[i], ca[i]
+			}
+		}
+	}
+	return ca, cb
+}
+
+// Genetic runs the DEAP-style GA until the sample budget is exhausted.
+func Genetic(o *Objective, rng *rand.Rand, cfg GAConfig, budget int) Result {
+	type indiv struct {
+		seq []int
+		val int64
+	}
+	newInd := func() indiv {
+		seq := make([]int, o.N)
+		for i := range seq {
+			seq[i] = rng.Intn(o.K)
+		}
+		return indiv{seq: seq}
+	}
+	evalInd := func(ind *indiv) bool {
+		v, ok := o.Evaluate(ind.seq)
+		ind.val = v
+		return ok
+	}
+	pop := make([]indiv, cfg.Population)
+	for i := range pop {
+		pop[i] = newInd()
+		if o.Samples() >= budget {
+			break
+		}
+		evalInd(&pop[i])
+	}
+	tournament := func() indiv {
+		best := pop[rng.Intn(len(pop))]
+		for k := 1; k < cfg.Tournament; k++ {
+			c := pop[rng.Intn(len(pop))]
+			if c.val < best.val {
+				best = c
+			}
+		}
+		return best
+	}
+	for o.Samples() < budget {
+		var next []indiv
+		for len(next) < cfg.Population {
+			p1, p2 := tournament(), tournament()
+			c1 := append([]int(nil), p1.seq...)
+			c2 := append([]int(nil), p2.seq...)
+			if rng.Float64() < cfg.CxProb {
+				c1, c2 = crossover(rng, cfg.Crossover, c1, c2)
+			}
+			for _, c := range [][]int{c1, c2} {
+				if rng.Float64() < cfg.MutProb {
+					for i := range c {
+						if rng.Float64() < cfg.MutIndProb {
+							c[i] = rng.Intn(o.K)
+						}
+					}
+				}
+			}
+			next = append(next, indiv{seq: c1}, indiv{seq: c2})
+		}
+		for i := range next {
+			if o.Samples() >= budget {
+				next = next[:i]
+				break
+			}
+			evalInd(&next[i])
+		}
+		if len(next) == 0 {
+			break
+		}
+		pop = next
+	}
+	return o.result()
+}

@@ -1,0 +1,158 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// toyObjective rewards matching a hidden target prefix: cycles = 1000 -
+// 10*(matching genes) + small noise-free structure; also rewards pass 7 at
+// position 0 heavily, giving greedy something to find.
+func toyObjective(k, n int) *Objective {
+	target := make([]int, n)
+	for i := range target {
+		target[i] = (i*3 + 1) % k
+	}
+	o := &Objective{K: k, N: n}
+	o.Eval = func(seq []int) (int64, bool) {
+		c := int64(1000)
+		for i := 0; i < len(seq) && i < n; i++ {
+			if seq[i] == target[i] {
+				c -= 10
+			}
+		}
+		if len(seq) > 0 && seq[0] == target[0] {
+			c -= 50
+		}
+		return c, true
+	}
+	return o
+}
+
+func TestRandomRespectsBudget(t *testing.T) {
+	o := toyObjective(10, 8)
+	res := Random(o, rand.New(rand.NewSource(1)), 200)
+	if res.Samples != 200 {
+		t.Fatalf("samples = %d, want 200", res.Samples)
+	}
+	if res.Cycles >= 1000 {
+		t.Fatalf("random found nothing: %d", res.Cycles)
+	}
+}
+
+func TestGreedyFindsStrongFirstGene(t *testing.T) {
+	o := toyObjective(10, 8)
+	res := Greedy(o, 2000)
+	if len(res.Seq) == 0 || res.Seq[0] != 1 { // target[0] = 1
+		t.Fatalf("greedy missed the dominant insertion: %v", res.Seq)
+	}
+	if res.Samples > 2000 {
+		t.Fatalf("budget exceeded: %d", res.Samples)
+	}
+}
+
+func TestGeneticImproves(t *testing.T) {
+	o := toyObjective(10, 8)
+	rng := rand.New(rand.NewSource(2))
+	res := Genetic(o, rng, DefaultGA(), 1500)
+	if res.Cycles > 920 {
+		t.Fatalf("GA barely improved: %d", res.Cycles)
+	}
+	if res.Samples > 1500 {
+		t.Fatalf("budget exceeded: %d", res.Samples)
+	}
+}
+
+func TestOpenTunerImproves(t *testing.T) {
+	o := toyObjective(10, 8)
+	rng := rand.New(rand.NewSource(3))
+	res := OpenTuner(o, rng, 1500)
+	if res.Cycles > 920 {
+		t.Fatalf("OpenTuner barely improved: %d", res.Cycles)
+	}
+	if res.Samples > 1500 {
+		t.Fatalf("budget exceeded: %d", res.Samples)
+	}
+}
+
+func TestCrossoverShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := []int{1, 1, 1, 1, 1, 1}
+	b := []int{2, 2, 2, 2, 2, 2}
+	for _, op := range []CrossoverOp{OnePoint, TwoPoint, Uniform} {
+		ca, cb := crossover(rng, op, a, b)
+		if len(ca) != 6 || len(cb) != 6 {
+			t.Fatalf("op %v changed length", op)
+		}
+		for i := range ca {
+			if ca[i]+cb[i] != 3 {
+				t.Fatalf("op %v lost genes: %v %v", op, ca, cb)
+			}
+		}
+	}
+	// Parents must be untouched.
+	for i := range a {
+		if a[i] != 1 || b[i] != 2 {
+			t.Fatal("crossover mutated parents")
+		}
+	}
+}
+
+func TestObjectiveTracksIncumbent(t *testing.T) {
+	o := toyObjective(10, 4)
+	o.Evaluate([]int{0, 0, 0, 0})
+	v1 := o.bestVal
+	o.Evaluate([]int{1, 4, 7, 0}) // matches target prefix
+	seq, v2 := o.Best()
+	if v2 >= v1 {
+		t.Fatalf("incumbent not updated: %d -> %d", v1, v2)
+	}
+	if seq[0] != 1 {
+		t.Fatalf("incumbent sequence wrong: %v", seq)
+	}
+	if o.Samples() != 2 {
+		t.Fatalf("samples = %d", o.Samples())
+	}
+}
+
+func TestOpenTunerCreditsWinners(t *testing.T) {
+	// An objective where only full-length low-value sequences win: the
+	// bandit must still respect the global budget and return an incumbent.
+	o := toyObjective(8, 6)
+	rng := rand.New(rand.NewSource(9))
+	res := OpenTuner(o, rng, 400)
+	if res.Samples != 400 {
+		t.Fatalf("samples %d", res.Samples)
+	}
+	if len(res.Seq) != 6 {
+		t.Fatalf("incumbent has wrong length: %v", res.Seq)
+	}
+}
+
+func TestGreedyStopsWhenNoImprovement(t *testing.T) {
+	// Constant objective: greedy should terminate after one fruitless
+	// insertion round rather than exhausting the budget.
+	o := &Objective{K: 5, N: 10, Eval: func([]int) (int64, bool) { return 100, true }}
+	res := Greedy(o, 100000)
+	if res.Samples > 5*11+1 {
+		t.Fatalf("greedy wasted samples on a flat objective: %d", res.Samples)
+	}
+}
+
+func TestObjectiveRejectedCandidates(t *testing.T) {
+	// Failing evaluations must not become the incumbent.
+	calls := 0
+	o := &Objective{K: 3, N: 2, Eval: func(seq []int) (int64, bool) {
+		calls++
+		if len(seq) > 0 && seq[0] == 0 {
+			return 1, false // looks great but invalid
+		}
+		return 50, true
+	}}
+	o.Evaluate([]int{0, 0})
+	o.Evaluate([]int{1, 1})
+	seq, v := o.Best()
+	if v != 50 || seq[0] != 1 {
+		t.Fatalf("invalid candidate became incumbent: %v %d", seq, v)
+	}
+}
