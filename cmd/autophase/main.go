@@ -11,6 +11,8 @@
 //	autophase -train 10 -agent agent.json          # train a generalizer
 //	autophase -agent agent.json -program sha       # zero-shot inference
 //	autophase -list                                # available programs/algos
+//	autophase lint -program file:prog.ir           # static analysis + diagnostics
+//	autophase -program sha -sanitize               # optimize with the pass sanitizer
 //
 // Algorithms: ppo (histogram obs), ppo-multi (§5.2), a3c, es, greedy,
 // genetic, opentuner, random, o3, o0.
@@ -25,6 +27,7 @@ import (
 
 	"math/rand"
 
+	"autophase/internal/analysis"
 	"autophase/internal/core"
 	"autophase/internal/features"
 	"autophase/internal/hls"
@@ -37,6 +40,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "lint" {
+		runLint(os.Args[2:])
+		return
+	}
 	prog := flag.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
 	algo := flag.String("algo", "ppo", "ppo, ppo-multi, a3c, es, greedy, genetic, opentuner, random, o3, o0")
 	budget := flag.Int("budget", 800, "sample/step budget for the chosen algorithm")
@@ -51,6 +58,7 @@ func main() {
 	trainN := flag.Int("train", 0, "train a generalization agent on N random programs and save it to -agent")
 	agentPath := flag.String("agent", "", "path of a saved agent (write with -train, read for inference)")
 	verbose := flag.Bool("verbose", false, "print per-pass statistics for the final sequence")
+	sanitize := flag.Bool("sanitize", false, "run the pass sanitizer during optimization; on miscompilation print the minimized repro and exit 1")
 	list := flag.Bool("list", false, "list available programs, algorithms and passes")
 	flag.Parse()
 
@@ -88,6 +96,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *sanitize {
+		p.EnableSanitizer()
+	}
 	fmt.Printf("program %s: O0=%d cycles, O3=%d cycles\n", *prog, p.O0Cycles, p.O3Cycles)
 
 	var seq []int
@@ -96,7 +107,7 @@ func main() {
 		seq = inferWithAgent(p, *agentPath)
 		c, _, ok := p.Compile(seq)
 		if !ok {
-			fatal(fmt.Errorf("inference compile failed"))
+			failCompile(p)
 		}
 		report(p, seq, c)
 	case *passList != "":
@@ -106,7 +117,7 @@ func main() {
 		}
 		c, _, ok := p.Compile(seq)
 		if !ok {
-			fatal(fmt.Errorf("compilation failed"))
+			failCompile(p)
 		}
 		report(p, seq, c)
 	case *algo == "o0":
@@ -121,6 +132,11 @@ func main() {
 			seq = bestSeq
 		}
 		report(p, seq, best)
+	}
+
+	if rep := p.SanitizerReport(); rep != nil {
+		fmt.Print(rep.String())
+		fatal(fmt.Errorf("sanitizer detected a miscompiling pass sequence"))
 	}
 
 	if *verbose {
@@ -159,7 +175,12 @@ func main() {
 	}
 }
 
-func loadProgram(name string) (*ir.Module, error) {
+func loadProgram(name string) (*ir.Module, error) { return loadModule(name, true) }
+
+// loadModule resolves a program spec; verify=false skips the IR verifier so
+// the lint subcommand can analyze (and diagnose) broken modules instead of
+// dying on the first violation.
+func loadModule(name string, verify bool) (*ir.Module, error) {
 	if seedStr, ok := strings.CutPrefix(name, "rand:"); ok {
 		seed, err := strconv.ParseInt(seedStr, 10, 64)
 		if err != nil {
@@ -177,8 +198,10 @@ func loadProgram(name string) (*ir.Module, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", path, err)
 		}
-		if err := m.Verify(); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
+		if verify {
+			if err := m.Verify(); err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
 		}
 		return m, nil
 	}
@@ -187,6 +210,52 @@ func loadProgram(name string) (*ir.Module, error) {
 		return nil, fmt.Errorf("unknown program %q (try -list)", name)
 	}
 	return m, nil
+}
+
+// runLint is the `autophase lint` subcommand: load a program, run the
+// collect-all verifier plus the dataflow analyses, and print every
+// diagnostic. Exit status 1 when any Error-severity diagnostic fired.
+func runLint(args []string) {
+	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+	prog := fs.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
+	passList := fs.String("passes", "", "apply this comma-separated pass list before analyzing")
+	stats := fs.Bool("stats", false, "also print per-function analysis statistics")
+	fs.Parse(args)
+
+	m, err := loadModule(*prog, false)
+	if err != nil {
+		fatal(err)
+	}
+	if *passList != "" {
+		seq, err := parsePasses(*passList)
+		if err != nil {
+			fatal(err)
+		}
+		passes.Apply(m, seq)
+	}
+	diags := analysis.VerifyAll(m)
+	if len(diags) > 0 {
+		fmt.Print(diags.String())
+	}
+	if *stats {
+		for _, f := range m.Funcs {
+			lv := analysis.ComputeLiveness(f)
+			ae := analysis.ComputeAvailExpr(f)
+			maxLive := 0
+			for _, s := range lv.LiveOut {
+				if len(s) > maxLive {
+					maxLive = len(s)
+				}
+			}
+			fmt.Printf("@%s: %d blocks, %d instrs, max live-out %d, %d dead defs, %d redundant exprs\n",
+				f.Name, len(f.Blocks), f.NumInstrs(), maxLive, len(lv.DeadDefs()), len(ae.Redundant()))
+		}
+	}
+	if diags.HasErrors() {
+		fmt.Printf("lint: %d errors, %d warnings\n", len(diags.Errors()), len(diags.Warnings()))
+		os.Exit(1)
+	}
+	fmt.Printf("lint: ok (%d warnings)\n", len(diags.Warnings()))
 }
 
 func parsePasses(s string) ([]int, error) {
@@ -372,6 +441,17 @@ func rngFor(name string) *rand.Rand {
 		h = -h
 	}
 	return rand.New(rand.NewSource(h))
+}
+
+// failCompile dies on a failed compile, printing the sanitizer's minimized
+// repro first when one is available (the usual reason a sanitized compile
+// fails).
+func failCompile(p *core.Program) {
+	if rep := p.SanitizerReport(); rep != nil {
+		fmt.Print(rep.String())
+		fatal(fmt.Errorf("sanitizer detected a miscompiling pass sequence"))
+	}
+	fatal(fmt.Errorf("compilation failed"))
 }
 
 func fatal(err error) {

@@ -1,0 +1,152 @@
+package analysis
+
+import "autophase/internal/ir"
+
+// RootKind classifies the memory object a pointer ultimately addresses.
+type RootKind int
+
+// Pointer root kinds.
+const (
+	RootAlloca  RootKind = iota // a stack object (OpAlloca result)
+	RootGlobal                  // a module global
+	RootParam                   // a pointer formal parameter (caller-owned object)
+	RootUndef                   // an undef pointer (only legal in dead code)
+	RootUnknown                 // anything else (e.g. a pointer-valued call)
+)
+
+// Root identifies one memory object a pointer may address. At most one of
+// the object fields is set, matching Kind.
+type Root struct {
+	Kind   RootKind
+	Alloca *ir.Instr
+	Global *ir.Global
+	Param  *ir.Param
+}
+
+// Aliases is a flow-insensitive, address-taken style alias analysis over
+// allocas, globals and GEP chains: every pointer value is resolved to the
+// set of memory objects it can address by chasing GEPs, casts, phis and
+// selects to their roots. Two pointers may alias iff their root sets
+// intersect (field-insensitively — GEP offsets are not distinguished).
+type Aliases struct {
+	fn    *ir.Func
+	roots map[ir.Value][]Root
+}
+
+// ComputeAliases resolves every pointer-typed value in f to its root set.
+func ComputeAliases(f *ir.Func) *Aliases {
+	al := &Aliases{fn: f, roots: make(map[ir.Value][]Root)}
+	return al
+}
+
+// RootsOf returns the memory objects v may address. Results are memoized;
+// cyclic phi chains resolve to the union of their non-cyclic inputs.
+func (al *Aliases) RootsOf(v ir.Value) []Root {
+	return al.resolve(v, make(map[ir.Value]bool))
+}
+
+func (al *Aliases) resolve(v ir.Value, visiting map[ir.Value]bool) []Root {
+	if rs, ok := al.roots[v]; ok {
+		return rs
+	}
+	if visiting[v] {
+		return nil // phi cycle: contributes nothing beyond the other inputs
+	}
+	visiting[v] = true
+	var rs []Root
+	switch x := v.(type) {
+	case *ir.Global:
+		rs = []Root{{Kind: RootGlobal, Global: x}}
+	case *ir.Param:
+		rs = []Root{{Kind: RootParam, Param: x}}
+	case *ir.Undef:
+		rs = []Root{{Kind: RootUndef}}
+	case *ir.Instr:
+		switch x.Op {
+		case ir.OpAlloca:
+			rs = []Root{{Kind: RootAlloca, Alloca: x}}
+		case ir.OpGEP, ir.OpBitCast:
+			rs = al.resolve(x.Args[0], visiting)
+		case ir.OpPhi, ir.OpSelect:
+			args := x.Args
+			if x.Op == ir.OpSelect {
+				args = x.Args[1:] // skip the condition
+			}
+			for _, a := range args {
+				rs = mergeRoots(rs, al.resolve(a, visiting))
+			}
+		default:
+			rs = []Root{{Kind: RootUnknown}}
+		}
+	default:
+		rs = []Root{{Kind: RootUnknown}}
+	}
+	delete(visiting, v)
+	al.roots[v] = rs
+	return rs
+}
+
+func mergeRoots(a, b []Root) []Root {
+	for _, r := range b {
+		if !containsRoot(a, r) {
+			a = append(a, r)
+		}
+	}
+	return a
+}
+
+func containsRoot(rs []Root, r Root) bool {
+	for _, x := range rs {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// MayAlias reports whether pointers p and q can address the same object.
+// Unknown roots conservatively alias everything.
+func (al *Aliases) MayAlias(p, q ir.Value) bool {
+	rp, rq := al.RootsOf(p), al.RootsOf(q)
+	for _, a := range rp {
+		if a.Kind == RootUnknown {
+			return true
+		}
+		for _, b := range rq {
+			if b.Kind == RootUnknown || a == b {
+				return true
+			}
+		}
+	}
+	return len(rp) == 0 || len(rq) == 0
+}
+
+// KnownObject reports whether every root of v is a concrete alloca, global
+// or pointer parameter — the property the sanitizer's memory check
+// enforces for the address operand of loads, stores and memsets.
+func (al *Aliases) KnownObject(v ir.Value) bool {
+	rs := al.RootsOf(v)
+	if len(rs) == 0 {
+		return false
+	}
+	for _, r := range rs {
+		switch r.Kind {
+		case RootAlloca, RootGlobal, RootParam:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// addrOperand returns the pointer operand of a memory instruction, or nil
+// when in does not access memory through a pointer.
+func addrOperand(in *ir.Instr) ir.Value {
+	switch in.Op {
+	case ir.OpLoad, ir.OpMemset:
+		return in.Args[0]
+	case ir.OpStore:
+		return in.Args[1]
+	}
+	return nil
+}

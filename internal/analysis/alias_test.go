@@ -1,0 +1,103 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+func TestUseDefChains(t *testing.T) {
+	f, a, tt, e, p := diamond(t)
+	ud := analysis.ComputeUseDef(f)
+	// a is used by cond (icmp), t (mul), e (add) and ret: 4 slots.
+	if n := ud.NumUses(a); n != 4 {
+		t.Errorf("NumUses(a) = %d, want 4", n)
+	}
+	// t and e are consumed only by the phi.
+	if u := ud.SingleUser(tt); u != p {
+		t.Errorf("SingleUser(t) = %v, want the phi", u)
+	}
+	if u := ud.SingleUser(e); u != p {
+		t.Errorf("SingleUser(e) = %v, want the phi", u)
+	}
+	// p is consumed only by print.
+	if u := ud.SingleUser(p); u == nil || u.Op != ir.OpPrint {
+		t.Errorf("SingleUser(p) not the print")
+	}
+	// Params are tracked too.
+	if n := ud.NumUses(f.Params[0]); n != 1 {
+		t.Errorf("NumUses(x) = %d, want 1", n)
+	}
+	if ud.DefOf(a) != a {
+		t.Errorf("DefOf(instr) should be the instruction itself")
+	}
+	if ud.DefOf(f.Params[0]) != nil {
+		t.Errorf("DefOf(param) should be nil")
+	}
+}
+
+func TestAliasRoots(t *testing.T) {
+	// Two allocas, one global, a GEP chain, and a phi merging two pointers.
+	m := ir.NewModule("alias")
+	g := m.NewGlobal("tab", ir.ArrayOf(ir.I32, 8), nil, false)
+	f := m.NewFunc("main", ir.I32)
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	join := f.NewBlock("join")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	p1 := b.Alloca(ir.ArrayOf(ir.I32, 4))
+	p2 := b.Alloca(ir.I32)
+	g1 := b.GEP(p1, ir.ConstInt(ir.I32, 2))
+	g2 := b.GEP(g1, ir.ConstInt(ir.I32, 1))
+	c := b.ICmp(ir.CmpSLT, ir.ConstInt(ir.I32, 0), ir.ConstInt(ir.I32, 1))
+	b.CondBr(c, left, right)
+	b.SetInsert(left)
+	b.Br(join)
+	b.SetInsert(right)
+	b.Br(join)
+	b.SetInsert(join)
+	merged := b.Phi(p1.Type())
+	merged.SetPhiIncoming(left, g2)
+	merged.SetPhiIncoming(right, g)
+	v := b.Load(merged)
+	b.Store(v, p2)
+	b.Ret(v)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("fixture verify: %v", err)
+	}
+
+	al := analysis.ComputeAliases(f)
+	// The GEP chain roots in p1 only.
+	rs := al.RootsOf(g2)
+	if len(rs) != 1 || rs[0].Kind != analysis.RootAlloca || rs[0].Alloca != p1 {
+		t.Errorf("RootsOf(gep chain) = %v, want {alloca p1}", rs)
+	}
+	// The phi merges the alloca and the global.
+	mr := al.RootsOf(merged)
+	if len(mr) != 2 {
+		t.Errorf("RootsOf(phi) = %v, want two roots", mr)
+	}
+	if !al.MayAlias(merged, p1) {
+		t.Errorf("phi should may-alias p1")
+	}
+	if !al.MayAlias(merged, g) {
+		t.Errorf("phi should may-alias the global")
+	}
+	if al.MayAlias(p1, p2) {
+		t.Errorf("distinct allocas must not alias")
+	}
+	if al.MayAlias(p2, g) {
+		t.Errorf("alloca and global must not alias")
+	}
+	if !al.KnownObject(merged) || !al.KnownObject(g2) {
+		t.Errorf("known objects misclassified")
+	}
+	// An undef pointer is not a known object.
+	u := &ir.Undef{Ty: ir.PointerTo(ir.I32)}
+	if al.KnownObject(u) {
+		t.Errorf("undef pointer classified as known object")
+	}
+}

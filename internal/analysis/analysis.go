@@ -1,0 +1,180 @@
+// Package analysis is the IR static-analysis layer: a reusable
+// forward/backward dataflow engine (worklist solver parameterized by
+// transfer function and meet operator) with concrete analyses — liveness,
+// reaching definitions, available expressions, use-def/def-use chains and a
+// flow-insensitive alias analysis over allocas/GEPs/globals — plus a
+// structured diagnostic engine.
+//
+// The diagnostics replace the first-error-only ir.Verify with a collect-all
+// VerifyAll whose results carry a severity, a stable check ID and a precise
+// function/block/instruction location. The pass sanitizer in
+// internal/passes runs VerifyAll plus the dataflow consistency checks after
+// every pass, standing in for the paper's logic-simulation validation at
+// the granularity of individual transformations.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autophase/internal/ir"
+)
+
+// Severity ranks a diagnostic.
+type Severity int
+
+// Severities, in increasing order of badness.
+const (
+	// Info diagnostics are observations (statistics, notes), never failures.
+	Info Severity = iota
+	// Warning marks suspicious but not provably broken IR (e.g. a memory
+	// op whose pointer roots in undef inside reachable code).
+	Warning
+	// Error marks IR that violates a structural or dataflow invariant; a
+	// module with Error diagnostics is miscompiled.
+	Error
+)
+
+// String returns the lowercase severity name.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Diagnostic is one finding: a check ID, a severity and a location. The
+// location narrows left to right; Block and Instr may be empty for
+// module- or function-level findings.
+type Diagnostic struct {
+	Sev   Severity
+	Check string // stable check ID, e.g. "verify.dominance"
+	Func  string // function name, without the @
+	Block string // block label within Func
+	Instr string // instruction rendering (opcode or ref) within Block
+	Msg   string
+}
+
+// String renders the diagnostic as "severity [check] @fn/block: msg".
+func (d Diagnostic) String() string {
+	loc := "@" + d.Func
+	if d.Func == "" {
+		loc = "<module>"
+	}
+	if d.Block != "" {
+		loc += "/" + d.Block
+	}
+	if d.Instr != "" {
+		loc += "/" + d.Instr
+	}
+	return fmt.Sprintf("%s [%s] %s: %s", d.Sev, d.Check, loc, d.Msg)
+}
+
+// Diagnostics is an ordered collection of findings.
+type Diagnostics []Diagnostic
+
+// HasErrors reports whether any diagnostic has Error severity.
+func (ds Diagnostics) HasErrors() bool {
+	for _, d := range ds {
+		if d.Sev >= Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the Error-severity findings.
+func (ds Diagnostics) Errors() Diagnostics { return ds.filter(Error) }
+
+// Warnings returns only the Warning-severity findings.
+func (ds Diagnostics) Warnings() Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Sev == Warning {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (ds Diagnostics) filter(min Severity) Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Sev >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// ByCheck returns the findings with the given check ID.
+func (ds Diagnostics) ByCheck(id string) Diagnostics {
+	var out Diagnostics
+	for _, d := range ds {
+		if d.Check == id {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Checks returns the distinct check IDs present, sorted.
+func (ds Diagnostics) Checks() []string {
+	seen := make(map[string]bool)
+	for _, d := range ds {
+		seen[d.Check] = true
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the findings one per line, most severe first (stable
+// within a severity).
+func (ds Diagnostics) String() string {
+	ordered := append(Diagnostics(nil), ds...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Sev > ordered[j].Sev })
+	var sb strings.Builder
+	for _, d := range ordered {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// collector accumulates diagnostics with a current function context.
+type collector struct {
+	fn    *ir.Func
+	diags Diagnostics
+}
+
+func (c *collector) add(sev Severity, check string, b *ir.Block, in *ir.Instr, format string, args ...any) {
+	d := Diagnostic{Sev: sev, Check: check, Msg: fmt.Sprintf(format, args...)}
+	if c.fn != nil {
+		d.Func = c.fn.Name
+	}
+	if b != nil {
+		d.Block = b.Label()
+	}
+	if in != nil {
+		d.Instr = in.Op.String()
+	}
+	c.diags = append(c.diags, d)
+}
+
+func (c *collector) errf(check string, b *ir.Block, in *ir.Instr, format string, args ...any) {
+	c.add(Error, check, b, in, format, args...)
+}
+
+func (c *collector) warnf(check string, b *ir.Block, in *ir.Instr, format string, args ...any) {
+	c.add(Warning, check, b, in, format, args...)
+}

@@ -1,0 +1,62 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// TestVerifyAllCleanOnCorpus runs VerifyAll over the nine benchmarks and a
+// set of random programs, both raw and after random pass sequences: correct
+// passes must never trip the collect-all verifier or the dataflow layer
+// (no false positives — the sanitizer is only useful if a firing check
+// really means miscompilation).
+func TestVerifyAllCleanOnCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for _, name := range progen.BenchmarkNames {
+		m := progen.Benchmark(name)
+		if ds := analysis.VerifyAll(m).Errors(); len(ds) > 0 {
+			t.Fatalf("%s raw: %v", name, ds)
+		}
+		for trial := 0; trial < trials; trial++ {
+			n := 5 + rng.Intn(40)
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = rng.Intn(passes.NumActions)
+			}
+			c := m.Clone()
+			passes.Apply(c, seq)
+			if ds := analysis.VerifyAll(c).Errors(); len(ds) > 0 {
+				t.Errorf("%s seq %v:\n%s", name, seq, ds)
+			}
+		}
+	}
+	seed := int64(4000)
+	progs := 6
+	if testing.Short() {
+		progs = 2
+	}
+	for p := 0; p < progs; p++ {
+		m, used := progen.GenerateFiltered(seed, progen.DefaultGen)
+		seed = used + 1
+		for trial := 0; trial < trials; trial++ {
+			n := 5 + rng.Intn(40)
+			seq := make([]int, n)
+			for i := range seq {
+				seq[i] = rng.Intn(passes.NumActions)
+			}
+			c := m.Clone()
+			passes.Apply(c, seq)
+			if ds := analysis.VerifyAll(c).Errors(); len(ds) > 0 {
+				t.Errorf("rand %d seq %v:\n%s", used, seq, ds)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package analysis
+
+import "autophase/internal/ir"
+
+// Set is the dataflow lattice element: a finite set of facts of type T.
+type Set[T comparable] map[T]struct{}
+
+// NewSet builds a set from the given elements.
+func NewSet[T comparable](xs ...T) Set[T] {
+	s := make(Set[T], len(xs))
+	for _, x := range xs {
+		s[x] = struct{}{}
+	}
+	return s
+}
+
+// Has reports membership.
+func (s Set[T]) Has(x T) bool { _, ok := s[x]; return ok }
+
+// Add inserts x.
+func (s Set[T]) Add(x T) { s[x] = struct{}{} }
+
+// Remove deletes x.
+func (s Set[T]) Remove(x T) { delete(s, x) }
+
+// Clone returns an independent copy.
+func (s Set[T]) Clone() Set[T] {
+	out := make(Set[T], len(s))
+	for x := range s {
+		out[x] = struct{}{}
+	}
+	return out
+}
+
+// Equal reports set equality.
+func (s Set[T]) Equal(o Set[T]) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for x := range s {
+		if _, ok := o[x]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Union folds o into s, reporting whether s grew.
+func (s Set[T]) Union(o Set[T]) bool {
+	grew := false
+	for x := range o {
+		if _, ok := s[x]; !ok {
+			s[x] = struct{}{}
+			grew = true
+		}
+	}
+	return grew
+}
+
+// Intersect removes the elements of s not present in o.
+func (s Set[T]) Intersect(o Set[T]) {
+	for x := range s {
+		if _, ok := o[x]; !ok {
+			delete(s, x)
+		}
+	}
+}
+
+// Direction orients a dataflow problem.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward  Direction = iota // facts flow from entry along CFG edges
+	Backward                  // facts flow from exits against CFG edges
+)
+
+// MeetKind selects the confluence operator.
+type MeetKind int
+
+// Meet operators.
+const (
+	Union     MeetKind = iota // may-analyses (liveness, reaching defs)
+	Intersect                 // must-analyses (available expressions)
+)
+
+// Problem is a monotone dataflow problem over per-block fact sets. The
+// solver iterates Transfer to a fixed point with a worklist.
+type Problem[T comparable] struct {
+	Dir  Direction
+	Meet MeetKind
+	// Boundary is the fact set at the entry block (Forward) or at every
+	// exit block (Backward). nil means the empty set.
+	Boundary Set[T]
+	// Init seeds the in-flow of interior blocks before any meet. For
+	// Union problems it is normally nil (empty set, the lattice bottom);
+	// for Intersect problems it must be the universe.
+	Init Set[T]
+	// Transfer maps the block's in-flow to its out-flow (with respect to
+	// Dir: for Backward problems "in-flow" is the set at block exit). It
+	// must not retain or mutate the argument.
+	Transfer func(b *ir.Block, in Set[T]) Set[T]
+}
+
+// Result holds the fixed point: for Forward problems In is the set at block
+// entry and Out at block exit; for Backward problems In is the set at block
+// exit and Out at block entry (i.e. In always feeds Transfer).
+type Result[T comparable] struct {
+	In  map[*ir.Block]Set[T]
+	Out map[*ir.Block]Set[T]
+}
+
+// Solve runs the worklist algorithm over f's reachable blocks and returns
+// the fixed point. Iteration order is reverse postorder for forward
+// problems and postorder for backward ones, so typical problems converge in
+// a handful of sweeps.
+func Solve[T comparable](f *ir.Func, p Problem[T]) Result[T] {
+	res := Result[T]{In: make(map[*ir.Block]Set[T]), Out: make(map[*ir.Block]Set[T])}
+	if len(f.Blocks) == 0 {
+		return res
+	}
+	dt := ir.NewDomTree(f)
+	order := append([]*ir.Block(nil), dt.RPO()...)
+	if p.Dir == Backward {
+		for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+	pos := make(map[*ir.Block]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	boundary := func() Set[T] {
+		if p.Boundary == nil {
+			return NewSet[T]()
+		}
+		return p.Boundary.Clone()
+	}
+	seeded := func() Set[T] {
+		if p.Init == nil {
+			return NewSet[T]()
+		}
+		return p.Init.Clone()
+	}
+	// edges returns the blocks whose Out feeds b's In, and the blocks whose
+	// In b's Out feeds, under the problem direction.
+	flowIn := func(b *ir.Block) []*ir.Block {
+		if p.Dir == Forward {
+			var preds []*ir.Block
+			for _, pb := range b.Preds() {
+				if _, ok := pos[pb]; ok {
+					preds = append(preds, pb)
+				}
+			}
+			return preds
+		}
+		return b.Succs()
+	}
+	flowOut := func(b *ir.Block) []*ir.Block {
+		if p.Dir == Forward {
+			return b.Succs()
+		}
+		var preds []*ir.Block
+		for _, pb := range b.Preds() {
+			if _, ok := pos[pb]; ok {
+				preds = append(preds, pb)
+			}
+		}
+		return preds
+	}
+	isBoundary := func(b *ir.Block) bool {
+		if p.Dir == Forward {
+			return b == f.Entry()
+		}
+		return len(b.Succs()) == 0
+	}
+
+	inWork := make([]bool, len(order))
+	work := make([]int, 0, len(order))
+	for i := range order {
+		work = append(work, i)
+		inWork[i] = true
+	}
+	// Pop lowest index first: a cheap priority queue that follows the
+	// chosen iteration order.
+	pop := func() *ir.Block {
+		best := -1
+		for i, w := range work {
+			if best < 0 || w < work[best] {
+				best = i
+			}
+		}
+		b := order[work[best]]
+		inWork[work[best]] = false
+		work = append(work[:best], work[best+1:]...)
+		return b
+	}
+
+	for len(work) > 0 {
+		b := pop()
+		var in Set[T]
+		srcs := flowIn(b)
+		switch {
+		case isBoundary(b) && p.Dir == Forward:
+			in = boundary()
+		case len(srcs) == 0:
+			// Backward exit blocks, or forward blocks whose only preds are
+			// unreachable.
+			in = boundary()
+		default:
+			first := true
+			for _, s := range srcs {
+				out := res.Out[s]
+				if out == nil {
+					// Unprocessed source: contributes Init (universe for
+					// must-problems, empty for may-problems).
+					out = seeded()
+				}
+				if first {
+					in = out.Clone()
+					first = false
+					continue
+				}
+				if p.Meet == Union {
+					in.Union(out)
+				} else {
+					in.Intersect(out)
+				}
+			}
+		}
+		res.In[b] = in
+		out := p.Transfer(b, in.Clone())
+		old := res.Out[b]
+		if old != nil && old.Equal(out) {
+			continue
+		}
+		res.Out[b] = out
+		for _, d := range flowOut(b) {
+			if i, ok := pos[d]; ok && !inWork[i] {
+				work = append(work, i)
+				inWork[i] = true
+			}
+		}
+	}
+	return res
+}

@@ -1,0 +1,238 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+// diamond builds
+//
+//	entry: a = add(x, 1); cond = icmp slt a, 10; br cond, then, else
+//	then:  t = mul(a, 2); br join
+//	else:  e = add(a, 3); br join
+//	join:  p = phi [t, then], [e, else]; print p; ret a
+//
+// returning the function and the named instructions.
+func diamond(t *testing.T) (f *ir.Func, a, tt, e, p *ir.Instr) {
+	t.Helper()
+	m := ir.NewModule("diamond")
+	f = m.NewFunc("main", ir.I32, ir.I32)
+	x := f.Params[0]
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	els := f.NewBlock("else")
+	join := f.NewBlock("join")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	a = b.Add(x, ir.ConstInt(ir.I32, 1))
+	cond := b.ICmp(ir.CmpSLT, a, ir.ConstInt(ir.I32, 10))
+	b.CondBr(cond, then, els)
+	b.SetInsert(then)
+	tt = b.Mul(a, ir.ConstInt(ir.I32, 2))
+	b.Br(join)
+	b.SetInsert(els)
+	e = b.Add(a, ir.ConstInt(ir.I32, 3))
+	b.Br(join)
+	b.SetInsert(join)
+	p = b.Phi(ir.I32)
+	p.SetPhiIncoming(then, tt)
+	p.SetPhiIncoming(els, e)
+	b.Print(p)
+	b.Ret(a)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("fixture verify: %v", err)
+	}
+	return f, a, tt, e, p
+}
+
+func blockNamed(f *ir.Func, name string) *ir.Block {
+	for _, b := range f.Blocks {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+func TestLivenessDiamond(t *testing.T) {
+	f, a, tt, e, p := diamond(t)
+	lv := analysis.ComputeLiveness(f)
+	entry := blockNamed(f, "entry")
+	then := blockNamed(f, "then")
+	els := blockNamed(f, "else")
+	join := blockNamed(f, "join")
+
+	// a is used in then, else and join(ret): live-out of entry, live-in of
+	// all three successors paths.
+	if !lv.LiveOut[entry].Has(a) {
+		t.Errorf("a not live-out of entry")
+	}
+	if !lv.LiveIn[then].Has(a) || !lv.LiveIn[els].Has(a) || !lv.LiveIn[join].Has(a) {
+		t.Errorf("a not live-in of then/else/join")
+	}
+	// t feeds the phi along the then edge: live-out of then, but NOT
+	// live-in of join (phi uses are edge uses) and not live anywhere else.
+	if !lv.LiveOut[then].Has(tt) {
+		t.Errorf("t not live-out of then")
+	}
+	if lv.LiveIn[join].Has(tt) {
+		t.Errorf("t wrongly live-in of join (phi uses are edge uses)")
+	}
+	if lv.LiveIn[then].Has(tt) {
+		t.Errorf("t live-in of its own defining block")
+	}
+	if lv.LiveOut[els].Has(tt) {
+		t.Errorf("t live-out of else")
+	}
+	// e symmetric.
+	if !lv.LiveOut[els].Has(e) || lv.LiveIn[join].Has(e) {
+		t.Errorf("e liveness wrong")
+	}
+	// p is consumed inside join: not live-out of join.
+	if lv.LiveOut[join].Has(p) {
+		t.Errorf("p live-out of exit block")
+	}
+	// Params: x is only used in entry, so not live-in of join.
+	x := f.Params[0]
+	if lv.LiveIn[join].Has(x) {
+		t.Errorf("x live past its last use")
+	}
+	if !lv.LiveIn[entry].Has(x) {
+		t.Errorf("x not live-in of entry")
+	}
+	if len(lv.DeadDefs()) != 0 {
+		t.Errorf("unexpected dead defs: %v", lv.DeadDefs())
+	}
+}
+
+func TestLivenessLoop(t *testing.T) {
+	// entry: br loop
+	// loop:  i = phi [0, entry], [inc, loop]; inc = add i, 1;
+	//        c = icmp slt inc, 10; br c, loop, exit
+	// exit:  print inc; ret 0
+	m := ir.NewModule("loop")
+	f := m.NewFunc("main", ir.I32)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	b.Br(loop)
+	b.SetInsert(loop)
+	i := b.Phi(ir.I32)
+	inc := b.Add(i, ir.ConstInt(ir.I32, 1))
+	c := b.ICmp(ir.CmpSLT, inc, ir.ConstInt(ir.I32, 10))
+	i.SetPhiIncoming(entry, ir.ConstInt(ir.I32, 0))
+	i.SetPhiIncoming(loop, inc)
+	b.CondBr(c, loop, exit)
+	b.SetInsert(exit)
+	b.Print(inc)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+	if err := m.Verify(); err != nil {
+		t.Fatalf("fixture verify: %v", err)
+	}
+	lv := analysis.ComputeLiveness(f)
+	// inc flows around the back edge (phi use) and into exit: live-out of
+	// loop on both counts.
+	if !lv.LiveOut[loop].Has(inc) {
+		t.Errorf("inc not live-out of loop")
+	}
+	if !lv.LiveIn[exit].Has(inc) {
+		t.Errorf("inc not live-in of exit")
+	}
+	// i is consumed by the add only: not live into exit.
+	if lv.LiveIn[exit].Has(i) {
+		t.Errorf("i wrongly live-in of exit")
+	}
+}
+
+func TestReachingDiamond(t *testing.T) {
+	f, a, tt, e, p := diamond(t)
+	rd := analysis.ComputeReaching(f)
+	join := blockNamed(f, "join")
+	then := blockNamed(f, "then")
+	// a reaches everywhere; t and e reach join's entry via their arms.
+	for _, def := range []*ir.Instr{a, tt, e} {
+		if !rd.In[join].Has(def) {
+			t.Errorf("%s does not reach join entry", def.Ref())
+		}
+	}
+	// t does not reach the else arm.
+	els := blockNamed(f, "else")
+	if rd.In[els].Has(tt) {
+		t.Errorf("t reaches else")
+	}
+	// Every real use passes ReachesUse.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, arg := range in.Args {
+				if def, ok := arg.(*ir.Instr); ok {
+					if !rd.ReachesUse(def, in) {
+						t.Errorf("ReachesUse(%s, %s in %s) = false", def.Ref(), in.Op, b.Label())
+					}
+				}
+			}
+		}
+	}
+	_ = p
+	_ = then
+}
+
+func TestAvailExpr(t *testing.T) {
+	// entry: s = add(x, y); c = icmp; br c, l, r
+	// l:     s1 = add(x, y)   <- redundant (available + dominated)
+	// r:     d = sub(x, y); br join
+	// join:  s2 = add(x, y)   <- redundant; d2 = sub(x, y) <- NOT (r arm only)
+	m := ir.NewModule("avail")
+	f := m.NewFunc("main", ir.I32, ir.I32, ir.I32)
+	x, y := f.Params[0], f.Params[1]
+	entry := f.NewBlock("entry")
+	l := f.NewBlock("l")
+	r := f.NewBlock("r")
+	join := f.NewBlock("join")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	s := b.Add(x, y)
+	c := b.ICmp(ir.CmpSLT, s, ir.ConstInt(ir.I32, 10))
+	b.CondBr(c, l, r)
+	b.SetInsert(l)
+	s1 := b.Add(x, y)
+	b.Br(join)
+	b.SetInsert(r)
+	d := b.Sub(x, y)
+	b.Br(join)
+	b.SetInsert(join)
+	s2 := b.Add(y, x) // commuted: must share a key with add(x, y)
+	d2 := b.Sub(x, y)
+	sum := b.Add(s2, d2)
+	b.Ret(sum)
+	_ = d
+	if err := m.Verify(); err != nil {
+		t.Fatalf("fixture verify: %v", err)
+	}
+	ae := analysis.ComputeAvailExpr(f)
+	addKey := analysis.ExprKey(s)
+	if k2 := analysis.ExprKey(s2); k2 != addKey {
+		t.Errorf("commuted add keys differ: %q vs %q", addKey, k2)
+	}
+	if !ae.AvailableAt(addKey, join) {
+		t.Errorf("add(x,y) not available at join")
+	}
+	subKey := analysis.ExprKey(d)
+	if ae.AvailableAt(subKey, join) {
+		t.Errorf("sub(x,y) available at join despite the l arm")
+	}
+	red := ae.Redundant()
+	want := map[*ir.Instr]bool{s1: true, s2: true}
+	for _, in := range red {
+		if !want[in] {
+			t.Errorf("unexpected redundant instr %s in %s", in.Ref(), in.Parent().Label())
+		}
+		delete(want, in)
+	}
+	for in := range want {
+		t.Errorf("missed redundant instr %s", in.Ref())
+	}
+}

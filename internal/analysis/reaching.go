@@ -1,0 +1,87 @@
+package analysis
+
+import "autophase/internal/ir"
+
+// Reaching holds the reaching-definitions solution: which instruction
+// definitions reach each block boundary. In SSA each value has exactly one
+// definition, so a def "reaches" a point iff there is a def-clear path from
+// its definition — which makes the analysis an independent cross-check of
+// the dominance property the verifier enforces.
+type Reaching struct {
+	fn *ir.Func
+	// In[b] is the set of defs reaching b's entry; Out[b] its exit.
+	In, Out map[*ir.Block]Set[*ir.Instr]
+}
+
+// ComputeReaching solves forward reaching definitions over f.
+func ComputeReaching(f *ir.Func) *Reaching {
+	gen := make(map[*ir.Block]Set[*ir.Instr], len(f.Blocks))
+	for _, b := range f.Blocks {
+		g := NewSet[*ir.Instr]()
+		for _, in := range b.Instrs {
+			if producesValue(in) {
+				g.Add(in)
+			}
+		}
+		gen[b] = g
+	}
+	res := Solve(f, Problem[*ir.Instr]{
+		Dir:  Forward,
+		Meet: Union,
+		Transfer: func(b *ir.Block, in Set[*ir.Instr]) Set[*ir.Instr] {
+			in.Union(gen[b])
+			return in
+		},
+	})
+	return &Reaching{fn: f, In: res.In, Out: res.Out}
+}
+
+// producesValue reports whether the instruction defines an SSA value other
+// code could reference.
+func producesValue(in *ir.Instr) bool {
+	if in.IsTerminator() {
+		return false
+	}
+	switch in.Op {
+	case ir.OpStore, ir.OpMemset, ir.OpPrint:
+		return false
+	}
+	return true
+}
+
+// ReachesUse reports whether def's definition reaches the use site at
+// instruction use (for phis, the use site is the end of the incoming
+// predecessor edge rather than the phi itself).
+func (r *Reaching) ReachesUse(def *ir.Instr, use *ir.Instr) bool {
+	ub := use.Parent()
+	if ub == nil {
+		return false
+	}
+	if use.Op == ir.OpPhi {
+		for i, a := range use.Args {
+			if a != ir.Value(def) {
+				continue
+			}
+			pred := use.Blocks[i]
+			out := r.Out[pred]
+			if out == nil || !out.Has(def) {
+				return false
+			}
+		}
+		return true
+	}
+	if def.Parent() == ub {
+		// Same block: def must precede use textually.
+		for _, in := range ub.Instrs {
+			if in == def {
+				return true
+			}
+			if in == use {
+				return false
+			}
+		}
+		return false
+	}
+	in := r.In[ub]
+	return in != nil && in.Has(def)
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import "autophase/internal/ir"
+
+// Use is one operand slot referencing a value.
+type Use struct {
+	User *ir.Instr // the instruction consuming the value
+	Idx  int       // operand index within User.Args
+}
+
+// UseDef holds the def-use and use-def chains of a function, built in one
+// flow-insensitive walk. In SSA these chains are exact: each tracked value
+// has a single definition.
+type UseDef struct {
+	fn   *ir.Func
+	uses map[ir.Value][]Use
+}
+
+// ComputeUseDef builds the chains for f.
+func ComputeUseDef(f *ir.Func) *UseDef {
+	ud := &UseDef{fn: f, uses: make(map[ir.Value][]Use)}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, a := range in.Args {
+				if trackedValue(a) {
+					ud.uses[a] = append(ud.uses[a], Use{User: in, Idx: i})
+				}
+			}
+		}
+	}
+	return ud
+}
+
+// UsesOf returns the operand slots referencing v, in block order.
+func (ud *UseDef) UsesOf(v ir.Value) []Use { return ud.uses[v] }
+
+// NumUses returns the number of operand slots referencing v.
+func (ud *UseDef) NumUses(v ir.Value) int { return len(ud.uses[v]) }
+
+// DefOf returns the defining instruction of v, or nil when v is not an
+// instruction result (constants, params, globals, undef have no def site).
+func (ud *UseDef) DefOf(v ir.Value) *ir.Instr {
+	if in, ok := v.(*ir.Instr); ok {
+		return in
+	}
+	return nil
+}
+
+// SingleUser returns the sole using instruction of v, or nil when v has
+// zero or multiple users.
+func (ud *UseDef) SingleUser(v ir.Value) *ir.Instr {
+	us := ud.uses[v]
+	if len(us) == 0 {
+		return nil
+	}
+	first := us[0].User
+	for _, u := range us[1:] {
+		if u.User != first {
+			return nil
+		}
+	}
+	return first
+}

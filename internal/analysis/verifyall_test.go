@@ -1,0 +1,198 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+// base builds a minimal well-formed module:
+//
+//	entry: v = add(x, 1); c = icmp slt v, 5; br c, then, exit
+//	then:  w = mul(v, 2); br exit
+//	exit:  r = phi [v, entry], [w, then]; ret r
+func base() (*ir.Module, map[string]*ir.Instr) {
+	m := ir.NewModule("fixture")
+	f := m.NewFunc("main", ir.I32, ir.I32)
+	x := f.Params[0]
+	entry := f.NewBlock("entry")
+	then := f.NewBlock("then")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	v := b.Add(x, ir.ConstInt(ir.I32, 1))
+	c := b.ICmp(ir.CmpSLT, v, ir.ConstInt(ir.I32, 5))
+	b.CondBr(c, then, exit)
+	b.SetInsert(then)
+	w := b.Mul(v, ir.ConstInt(ir.I32, 2))
+	b.Br(exit)
+	b.SetInsert(exit)
+	r := b.Phi(ir.I32)
+	r.SetPhiIncoming(entry, v)
+	r.SetPhiIncoming(then, w)
+	b.Ret(r)
+	return m, map[string]*ir.Instr{"v": v, "c": c, "w": w, "r": r}
+}
+
+func fblock(m *ir.Module, name string) *ir.Block {
+	return blockNamed(m.Funcs[0], name)
+}
+
+// TestVerifyAllBrokenModules breaks the base module one invariant at a time
+// and asserts the exact check ID fires (and that ir.Verify agrees a module
+// is broken).
+func TestVerifyAllBrokenModules(t *testing.T) {
+	cases := []struct {
+		name  string
+		brk   func(m *ir.Module, ins map[string]*ir.Instr)
+		check string
+	}{
+		{
+			name: "detached value",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				// Remove w's defining instruction but keep the phi's use.
+				fblock(m, "then").Remove(ins["w"])
+			},
+			check: analysis.CheckDetachedValue,
+		},
+		{
+			name: "phi incoming from non-pred",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				// Retarget then's branch away from exit; the phi still
+				// claims an incoming from then.
+				fblock(m, "then").Term().ReplaceTarget(fblock(m, "exit"), fblock(m, "then"))
+			},
+			check: analysis.CheckPhiNonPred,
+		},
+		{
+			name: "phi missing incoming",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				ins["r"].RemovePhiIncoming(fblock(m, "then"))
+			},
+			check: analysis.CheckPhiMissing,
+		},
+		{
+			name: "phi duplicate incoming",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				r := ins["r"]
+				r.Blocks = append(r.Blocks, fblock(m, "entry"))
+				r.Args = append(r.Args, ins["v"])
+			},
+			check: analysis.CheckPhiDupPred,
+		},
+		{
+			name: "dominance violation",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				// Make entry's add consume then's mul: then does not
+				// dominate entry.
+				ins["v"].Args[0] = ins["w"]
+			},
+			check: analysis.CheckDominance,
+		},
+		{
+			name: "dead-def use (use before def in block)",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				// Move w's def after its block's use point by inserting a
+				// same-block consumer above it.
+				then := fblock(m, "then")
+				use := &ir.Instr{Op: ir.OpAdd, Ty: ir.I32,
+					Args: []ir.Value{ins["w"], ir.ConstInt(ir.I32, 1)}}
+				then.Prepend(use)
+			},
+			check: analysis.CheckDeadDefUse,
+		},
+		{
+			name: "entry block phi",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				phi := &ir.Instr{Op: ir.OpPhi, Ty: ir.I32}
+				fblock(m, "entry").Prepend(phi)
+			},
+			check: analysis.CheckEntryPhi,
+		},
+		{
+			name: "foreign parameter use",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				other := m.NewFunc("other", ir.I32, ir.I32)
+				ob := other.NewBlock("entry")
+				bld := ir.NewBuilder()
+				bld.SetInsert(ob)
+				bld.Ret(other.Params[0])
+				ins["v"].Args[0] = other.Params[0]
+			},
+			check: analysis.CheckForeignParam,
+		},
+		{
+			name: "terminator misplacement",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				exit := fblock(m, "exit")
+				exit.Append(&ir.Instr{Op: ir.OpAdd, Ty: ir.I32,
+					Args: []ir.Value{ins["r"], ir.ConstInt(ir.I32, 1)}})
+			},
+			check: analysis.CheckTerminator,
+		},
+		{
+			name: "call arity mismatch",
+			brk: func(m *ir.Module, ins map[string]*ir.Instr) {
+				callee := m.NewFunc("callee", ir.I32, ir.I32, ir.I32)
+				cb := callee.NewBlock("entry")
+				bld := ir.NewBuilder()
+				bld.SetInsert(cb)
+				bld.Ret(ir.ConstInt(ir.I32, 0))
+				call := &ir.Instr{Op: ir.OpCall, Ty: ir.I32, Callee: callee,
+					Args: []ir.Value{ir.ConstInt(ir.I32, 1)}}
+				fblock(m, "entry").Prepend(call)
+			},
+			check: analysis.CheckCallArity,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, ins := base()
+			if ds := analysis.VerifyAll(m); ds.HasErrors() {
+				t.Fatalf("base fixture not clean:\n%s", ds)
+			}
+			tc.brk(m, ins)
+			ds := analysis.VerifyAll(m)
+			if !ds.HasErrors() {
+				t.Fatalf("break %q: VerifyAll found no errors", tc.name)
+			}
+			if len(ds.ByCheck(tc.check)) == 0 {
+				t.Errorf("break %q: check %s did not fire; got checks %v\n%s",
+					tc.name, tc.check, ds.Checks(), ds)
+			}
+			if err := m.Verify(); err == nil {
+				t.Errorf("break %q: ir.Verify still passes", tc.name)
+			}
+		})
+	}
+}
+
+// TestVerifyAllCollectsAll seeds two independent violations and asserts
+// both are reported in one run — the property ir.Verify lacks.
+func TestVerifyAllCollectsAll(t *testing.T) {
+	m, ins := base()
+	fblock(m, "then").Remove(ins["w"])                       // detached value
+	ins["r"].RemovePhiIncoming(fblock(m, "entry"))           // missing incoming
+	ds := analysis.VerifyAll(m)
+	if len(ds.ByCheck(analysis.CheckDetachedValue)) == 0 ||
+		len(ds.ByCheck(analysis.CheckPhiMissing)) == 0 {
+		t.Fatalf("expected both checks to fire, got:\n%s", ds)
+	}
+}
+
+// TestDiagnosticRendering pins the diagnostic string format lint prints.
+func TestDiagnosticRendering(t *testing.T) {
+	d := analysis.Diagnostic{
+		Sev: analysis.Error, Check: analysis.CheckDominance,
+		Func: "main", Block: "exit", Instr: "add",
+		Msg: "use of %3 does not satisfy dominance",
+	}
+	s := d.String()
+	for _, want := range []string{"error", "[verify.dominance]", "@main/exit/add", "dominance"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("diagnostic %q missing %q", s, want)
+		}
+	}
+}

@@ -36,6 +36,14 @@ type Program struct {
 	samples   int
 	best      int64 // best cycle count seen since the last reset
 	bestSeq   []int
+
+	// Sanitizer mode (EnableSanitizer): every compile runs the pass
+	// sanitizer; a failing sequence is marked bad (Compile returns !ok, so
+	// the environment ends the episode with a penalty instead of learning
+	// from a corrupted reward) and the first report is retained.
+	sanitize  bool
+	sanBad    map[string]bool
+	sanReport *passes.SanitizerReport
 }
 
 // irCacheCap bounds the per-program optimized-IR cache; episodes extend
@@ -80,6 +88,28 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 // Module returns a fresh clone of the original (unoptimized) module.
 func (p *Program) Module() *ir.Module { return p.orig.Clone() }
 
+// EnableSanitizer switches every subsequent Compile into sanitized mode:
+// after each pass of a sequence the collect-all verifier and the dataflow
+// consistency checks run, and a sequence that corrupts the module compiles
+// as failed (ok=false) instead of feeding a bogus cycle count into the
+// reward. The first failure's delta-minimized report is kept.
+func (p *Program) EnableSanitizer() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.sanitize = true
+	if p.sanBad == nil {
+		p.sanBad = make(map[string]bool)
+	}
+}
+
+// SanitizerReport returns the report of the first miscompiling sequence a
+// sanitized Compile observed, or nil when none failed.
+func (p *Program) SanitizerReport() *passes.SanitizerReport {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sanReport
+}
+
 // Features returns the feature vector of the unoptimized program.
 func (p *Program) Features() []int64 { return features.Extract(p.orig) }
 
@@ -104,6 +134,12 @@ func (p *Program) Compile(seq []int) (cycles int64, feats []int64, ok bool) {
 	m := p.buildIR(seq, key)
 	p.samples++
 	var res compileResult
+	if p.sanitize && p.sanBad[key] {
+		// The sanitizer flagged this sequence: fail the compile loudly
+		// rather than profiling a miscompiled module.
+		p.cache[key] = res
+		return 0, nil, false
+	}
 	if rep, err := hls.Profile(m, p.hlsCfg, p.lim); err == nil {
 		res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
 			feats: features.Extract(m), ok: true}
@@ -144,7 +180,22 @@ func (p *Program) buildIR(seq []int, key string) *ir.Module {
 		}
 	}
 	m := base.Clone()
-	passes.Apply(m, seq[start:])
+	if p.sanitize {
+		pm := passes.NewManager()
+		pm.Sanitize = true
+		pm.Apply(m, seq[start:])
+		if rep := pm.SanitizerReport(); rep != nil {
+			p.sanBad[key] = true
+			if p.sanReport == nil {
+				p.sanReport = rep
+			}
+			// Do not cache the corrupted module: extensions of this
+			// sequence must re-derive (and re-flag) from a clean prefix.
+			return m
+		}
+	} else {
+		passes.Apply(m, seq[start:])
+	}
 	if len(p.irCache) >= irCacheCap {
 		p.irCache = make(map[string]*ir.Module, irCacheCap)
 	}
@@ -248,6 +299,12 @@ type EnvConfig struct {
 	// ActionList restricts the action space to these pass indices (the §4
 	// filtered action space); nil allows all 45 passes.
 	ActionList []int
+	// Sanitize runs the pass sanitizer on every compile: a miscompiling
+	// sequence fails the episode with a penalty instead of contributing a
+	// corrupted reward, and the minimized repro is available from
+	// Program.SanitizerReport. Training gets slower but cannot silently
+	// learn from a broken reward oracle.
+	Sanitize bool
 }
 
 // DefaultEnv matches the per-program evaluation setting of §6.1.

@@ -18,6 +18,9 @@ type PhaseEnv struct {
 
 // NewPhaseEnv builds an environment over one program.
 func NewPhaseEnv(p *Program, cfg EnvConfig) *PhaseEnv {
+	if cfg.Sanitize {
+		p.EnableSanitizer()
+	}
 	return &PhaseEnv{Cfg: cfg, Program: p}
 }
 
@@ -138,6 +141,9 @@ type MultiPhaseEnv struct {
 
 // NewMultiPhaseEnv builds the multiple-passes-per-action environment.
 func NewMultiPhaseEnv(p *Program, cfg EnvConfig, slots, steps int) *MultiPhaseEnv {
+	if cfg.Sanitize {
+		p.EnableSanitizer()
+	}
 	return &MultiPhaseEnv{Cfg: cfg, Program: p, Slots: slots, Steps: steps}
 }
 

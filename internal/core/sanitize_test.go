@@ -1,0 +1,40 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"autophase/internal/passes"
+)
+
+// TestSanitizedEnvTransparent runs a sanitized episode with the (correct)
+// built-in passes and asserts the sanitizer changes nothing: compiles
+// succeed, rewards still telescope, and no report is filed. The sanitizer
+// must be a pure tripwire, not a behavior change.
+func TestSanitizedEnvTransparent(t *testing.T) {
+	p := mustProgram(t, "qsort")
+	cfg := DefaultEnv()
+	cfg.EpisodeLen = 8
+	cfg.Sanitize = true
+	env := NewPhaseEnv(p, cfg)
+	env.Reset()
+	rng := rand.New(rand.NewSource(3))
+	done := false
+	for !done {
+		_, _, done = env.Step([]int{rng.Intn(passes.NumActions)})
+	}
+	if rep := p.SanitizerReport(); rep != nil {
+		t.Fatalf("built-in passes flagged by sanitizer:\n%s", rep)
+	}
+	if _, _, ok := p.Compile(passes.O3Sequence); !ok {
+		t.Fatal("sanitized compile of -O3 failed")
+	}
+	// Sanitized and unsanitized compiles agree on the result.
+	clean := mustProgram(t, "qsort")
+	seq := []int{38, 31, 30, 7, 28}
+	cs, _, _ := p.Compile(seq)
+	cc, _, _ := clean.Compile(seq)
+	if cs != cc {
+		t.Fatalf("sanitized compile diverged: %d vs %d cycles", cs, cc)
+	}
+}

@@ -78,6 +78,10 @@ func (f *Func) String() string {
 	return sb.String()
 }
 
+// Label renders a block reference outside of a full function print
+// (verifier errors, analysis diagnostics, debug output).
+func (b *Block) Label() string { return blockLabel(b) }
+
 // blockLabel renders a block reference outside of a full function print
 // (verifier errors, debug output).
 func blockLabel(b *Block) string {

@@ -11,9 +11,20 @@ func (m *Module) Verify() error {
 		if err := f.Verify(); err != nil {
 			return fmt.Errorf("function @%s: %w", f.Name, err)
 		}
-		// Calls must target functions still present in the module.
+		// Calls must target functions still present in the module, and
+		// operands must not reference another function's parameters.
 		for _, b := range f.Blocks {
 			for _, in := range b.Instrs {
+				for _, a := range in.Args {
+					if p, ok := a.(*Param); ok && p.Parent != f {
+						owner := "<detached>"
+						if p.Parent != nil {
+							owner = "@" + p.Parent.Name
+						}
+						return fmt.Errorf("function @%s: %s uses parameter %s of foreign function %s",
+							f.Name, in.Op, p.Ref(), owner)
+					}
+				}
 				if in.Op == OpCall {
 					if in.Callee == nil {
 						return fmt.Errorf("function @%s: call with nil callee", f.Name)
@@ -37,6 +48,12 @@ func (m *Module) Verify() error {
 func (f *Func) Verify() error {
 	if len(f.Blocks) == 0 {
 		return fmt.Errorf("no blocks")
+	}
+	// The entry block has no predecessors, so it can never legally hold a
+	// phi (even a zero-incoming one, which the phi/pred matching below
+	// would otherwise accept).
+	if len(f.Entry().Phis()) > 0 {
+		return fmt.Errorf("block %s: phi in entry block", blockLabel(f.Entry()))
 	}
 	inFunc := make(map[*Block]bool, len(f.Blocks))
 	for _, b := range f.Blocks {

@@ -1,0 +1,50 @@
+package passes_test
+
+import (
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// FuzzApplyVerify drives fuzzer-chosen pass orderings over random (and
+// benchmark) programs and checks every intermediate module stays
+// verifiable — the invariant the pass sanitizer enforces during training.
+// Byte i of the input selects the i-th pass to run.
+func FuzzApplyVerify(f *testing.F) {
+	f.Add(int64(1), []byte{38, 31, 30})     // mem2reg, simplifycfg, instcombine
+	f.Add(int64(7), []byte{38, 7, 28, 32})  // mem2reg, gvn, adce, dse
+	f.Add(int64(42), []byte{43, 26, 8, 0})  // sroa, early-cse, jump-threading, corr-prop
+	f.Add(int64(-3), []byte{5, 23, 36, 33}) // sccp, loop-rotate, licm, loop-unroll
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		if len(raw) > 24 {
+			raw = raw[:24] // keep individual executions fast
+		}
+		var m *ir.Module
+		if seed%4 == 0 {
+			bs := progen.Benchmarks()
+			m = bs[int(uint64(seed)%uint64(len(bs)))].Clone()
+		} else {
+			m = progen.Generate(seed, progen.DefaultGen)
+		}
+		seq := make([]int, 0, len(raw))
+		for _, b := range raw {
+			idx := int(b) % passes.NumActions
+			if idx == passes.TerminateIndex {
+				continue // termination is uninteresting for invariant fuzzing
+			}
+			seq = append(seq, idx)
+		}
+		if rep := passes.SanitizeSequence(m, seq); rep != nil {
+			t.Fatalf("pass pipeline corrupted the module:\n%s", rep)
+		}
+		// The sanitizer works on a clone; also apply for real and run the
+		// collect-all verifier to cover the non-sanitized path.
+		passes.Apply(m, seq)
+		if ds := analysis.VerifyAll(m); ds.HasErrors() {
+			t.Fatalf("VerifyAll after Apply:\n%s", ds)
+		}
+	})
+}

@@ -7,7 +7,10 @@ import (
 	"time"
 )
 
-import "autophase/internal/ir"
+import (
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
 
 // RunStats accumulates per-pass instrumentation across Manager.Apply calls.
 type RunStats struct {
@@ -23,10 +26,19 @@ type RunStats struct {
 type Manager struct {
 	stats map[string]*RunStats
 	// VerifyEach, when set, runs the module verifier after every pass and
-	// records the first failure (a debugging aid for new passes).
+	// halts the pipeline on the first failure (a debugging aid for new
+	// passes): continuing to mutate a module that already violates the IR
+	// invariants would only pile unrelated corruption on top of the bug.
 	VerifyEach bool
-	firstErr   error
-	errAfter   string
+	// Sanitize, when set, upgrades VerifyEach into the full pass-sanitizer
+	// mode: after every pass the collect-all verifier and the dataflow
+	// consistency checks of internal/analysis run, and on failure the
+	// pipeline halts with a SanitizerReport carrying the delta-minimized
+	// failing sequence and before/after IR dumps.
+	Sanitize  bool
+	firstErr  error
+	errAfter  string
+	sanReport *SanitizerReport
 }
 
 // NewManager returns an empty instrumented runner.
@@ -37,12 +49,21 @@ func NewManager() *Manager {
 // Apply runs the sequence (Table 1 indices, stopping at -terminate),
 // recording statistics. It reports whether anything changed.
 func (pm *Manager) Apply(m *ir.Module, sequence []int) bool {
+	return pm.ApplyPasses(m, passesOf(sequence))
+}
+
+// ApplyPasses is Apply over materialized passes (the form the sanitizer
+// mutation tests inject deliberately buggy pass variants through).
+func (pm *Manager) ApplyPasses(m *ir.Module, ps []Pass) bool {
+	var orig *ir.Module
+	var applied []Pass
+	if pm.Sanitize && pm.sanReport == nil {
+		// The sanitizer replays the failing prefix against the pristine
+		// input to minimize it, so keep a copy before the first mutation.
+		orig = m.Clone()
+	}
 	changed := false
-	for _, idx := range sequence {
-		if idx == TerminateIndex {
-			break
-		}
-		p := ByIndex(idx)
+	for _, p := range ps {
 		st := pm.stats[p.Name()]
 		if st == nil {
 			st = &RunStats{Name: p.Name()}
@@ -56,10 +77,21 @@ func (pm *Manager) Apply(m *ir.Module, sequence []int) bool {
 			st.Changed++
 			changed = true
 		}
+		if orig != nil {
+			applied = append(applied, p)
+			if ds := analysis.VerifyAll(m); ds.HasErrors() {
+				pm.sanReport = buildReport(orig, applied)
+				pm.firstErr = fmt.Errorf("sanitizer: %d diagnostics after %s", len(ds.Errors()), p.Name())
+				pm.errAfter = p.Name()
+				break // halt: the module is miscompiled
+			}
+			continue
+		}
 		if pm.VerifyEach && pm.firstErr == nil {
 			if err := m.Verify(); err != nil {
 				pm.firstErr = err
 				pm.errAfter = p.Name()
+				break // halt: applying more passes to a broken module only compounds the damage
 			}
 		}
 	}
@@ -67,8 +99,12 @@ func (pm *Manager) Apply(m *ir.Module, sequence []int) bool {
 }
 
 // FirstVerifyError reports the first verifier failure observed under
-// VerifyEach, with the pass that preceded it.
+// VerifyEach or Sanitize, with the pass that preceded it.
 func (pm *Manager) FirstVerifyError() (string, error) { return pm.errAfter, pm.firstErr }
+
+// SanitizerReport returns the report of the first sanitizer failure, or nil
+// when every checked pass output was clean (or Sanitize was off).
+func (pm *Manager) SanitizerReport() *SanitizerReport { return pm.sanReport }
 
 // Stats returns the accumulated records, most time-consuming first.
 func (pm *Manager) Stats() []RunStats {

@@ -1,0 +1,142 @@
+package passes
+
+import (
+	"fmt"
+	"strings"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+// SanitizerReport describes one detected miscompilation: the offending
+// pass, the full and delta-minimized failing sequences, the IR immediately
+// before and after the offending pass in the minimized repro, and the
+// diagnostics that fired. It is the artifact a pass author debugs from —
+// the smallest pipeline that still corrupts the module.
+type SanitizerReport struct {
+	Pass      string   // name of the pass whose output failed
+	Index     int      // position of that pass in Sequence
+	Sequence  []string // the sequence as attempted (up to and including Pass)
+	Minimized []string // minimal subsequence that still fails
+	Before    string   // IR entering the offending pass (minimized repro)
+	After     string   // IR leaving the offending pass (minimized repro)
+	Diags     analysis.Diagnostics
+}
+
+// String renders the report: offending pass, minimized sequence,
+// diagnostics and the before/after IR dumps.
+func (r *SanitizerReport) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sanitizer: pass %s (position %d of %d) broke the module\n",
+		r.Pass, r.Index+1, len(r.Sequence))
+	fmt.Fprintf(&sb, "minimized failing sequence (%d passes): %s\n",
+		len(r.Minimized), strings.Join(r.Minimized, " "))
+	sb.WriteString("diagnostics:\n")
+	sb.WriteString(r.Diags.Errors().String())
+	sb.WriteString("--- IR before offending pass ---\n")
+	sb.WriteString(r.Before)
+	sb.WriteString("--- IR after offending pass ---\n")
+	sb.WriteString(r.After)
+	return sb.String()
+}
+
+// Sanitize applies the pass list to a clone of orig, running the
+// collect-all verifier and dataflow consistency checks after every pass.
+// On the first failure it delta-minimizes the failing prefix against a
+// fresh clone and returns the report; nil means the whole pipeline is
+// clean. orig is never mutated.
+func Sanitize(orig *ir.Module, ps []Pass) *SanitizerReport {
+	idx, _, _, _ := runChecked(orig, ps)
+	if idx < 0 {
+		return nil
+	}
+	return buildReport(orig, ps[:idx+1])
+}
+
+// runChecked applies ps to a clone of orig, checking after each pass.
+// It returns the index of the first pass whose output fails (-1 if clean)
+// along with the before/after IR of that pass and the diagnostics.
+func runChecked(orig *ir.Module, ps []Pass) (failIdx int, before, after string, diags analysis.Diagnostics) {
+	m := orig.Clone()
+	for i, p := range ps {
+		b := m.String()
+		p.Run(m)
+		if ds := analysis.VerifyAll(m); ds.HasErrors() {
+			return i, b, m.String(), ds
+		}
+	}
+	return -1, "", "", nil
+}
+
+// buildReport minimizes the failing sequence (whose last pass is the
+// offender) and assembles the report from the minimized repro.
+func buildReport(orig *ir.Module, failing []Pass) *SanitizerReport {
+	min := minimizeSequence(orig, failing)
+	idx, before, after, diags := runChecked(orig, min)
+	if idx < 0 {
+		// Minimization invariant violated (should not happen); fall back to
+		// the unminimized sequence.
+		min = failing
+		idx, before, after, diags = runChecked(orig, min)
+	}
+	rep := &SanitizerReport{
+		Pass:      failing[len(failing)-1].Name(),
+		Index:     len(failing) - 1,
+		Sequence:  passNames(failing),
+		Minimized: passNames(min[:idx+1]),
+		Before:    before,
+		After:     after,
+		Diags:     diags,
+	}
+	return rep
+}
+
+// minimizeSequence ddmin-style reduces ps to a subsequence that still fails
+// the checks: first by halving chunks, then by removing single passes until
+// no single removal keeps the failure.
+func minimizeSequence(orig *ir.Module, ps []Pass) []Pass {
+	fails := func(seq []Pass) bool {
+		idx, _, _, _ := runChecked(orig, seq)
+		return idx >= 0
+	}
+	cur := append([]Pass(nil), ps...)
+	// Chunked removal: drop halves, then quarters, ...
+	for chunk := len(cur) / 2; chunk >= 1; chunk /= 2 {
+		for start := 0; start+chunk <= len(cur); {
+			cand := append(append([]Pass(nil), cur[:start]...), cur[start+chunk:]...)
+			if len(cand) > 0 && fails(cand) {
+				cur = cand
+				// Re-test the same start: the next chunk shifted in.
+			} else {
+				start += chunk
+			}
+		}
+	}
+	return cur
+}
+
+func passNames(ps []Pass) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// passesOf materializes Table 1 indices into Pass values, stopping at the
+// -terminate sentinel exactly like Apply.
+func passesOf(sequence []int) []Pass {
+	var out []Pass
+	for _, idx := range sequence {
+		if idx == TerminateIndex {
+			break
+		}
+		out = append(out, ByIndex(idx))
+	}
+	return out
+}
+
+// SanitizeSequence is Sanitize over Table 1 indices.
+func SanitizeSequence(orig *ir.Module, sequence []int) *SanitizerReport {
+	return Sanitize(orig, passesOf(sequence))
+}

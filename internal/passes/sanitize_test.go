@@ -1,0 +1,190 @@
+package passes_test
+
+import (
+	"strings"
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// byName materializes a built-in Table 1 pass, panicking on typos so test
+// pipelines stay terse.
+func byName(name string) passes.Pass {
+	p, err := passes.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// buggyDCE is a deliberately miscompiling pass variant: a "dead code
+// eliminator" that deletes the first value-producing instruction it sees
+// without checking for uses, leaving detached-value operands behind.
+type buggyDCE struct{}
+
+func (buggyDCE) Name() string { return "-buggy-dce" }
+
+func (buggyDCE) Run(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.IsTerminator() || in.Op == ir.OpPhi {
+					continue
+				}
+				if len(f.Uses(in)) > 0 {
+					b.Remove(in)
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// buggyCFG drops one phi incoming entry, breaking phi/pred agreement.
+type buggyCFG struct{}
+
+func (buggyCFG) Name() string { return "-buggy-simplifycfg" }
+
+func (buggyCFG) Run(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, phi := range b.Phis() {
+				if len(phi.Blocks) > 1 {
+					phi.RemovePhiIncoming(phi.Blocks[0])
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// spyPass records whether it ran.
+type spyPass struct{ runs *int }
+
+func (spyPass) Name() string      { return "-spy" }
+func (s spyPass) Run(*ir.Module) bool { (*s.runs)++; return false }
+
+// TestManagerVerifyEachHalts is the regression test for the VerifyEach fix:
+// a verifier failure must stop the pipeline instead of continuing to
+// mutate (and re-verify) a corrupted module.
+func TestManagerVerifyEachHalts(t *testing.T) {
+	m := progen.Benchmark("matmul")
+	runs := 0
+	pm := passes.NewManager()
+	pm.VerifyEach = true
+	pm.ApplyPasses(m, []passes.Pass{
+		byName("-mem2reg"),
+		buggyDCE{},
+		spyPass{&runs},
+	})
+	after, err := pm.FirstVerifyError()
+	if err == nil {
+		t.Fatal("verifier failure not recorded")
+	}
+	if after != "-buggy-dce" {
+		t.Errorf("failure attributed to %q, want -buggy-dce", after)
+	}
+	if runs != 0 {
+		t.Errorf("pipeline kept running after verifier failure: spy ran %d times", runs)
+	}
+}
+
+// TestSanitizerFlagsBuggyPass is the mutation test of the acceptance
+// criteria: seed a miscompiling pass variant in a realistic pipeline and
+// assert the sanitizer detects it, attributes it, delta-minimizes the
+// failing sequence and dumps before/after IR.
+func TestSanitizerFlagsBuggyPass(t *testing.T) {
+	cases := []struct {
+		name  string
+		bug   passes.Pass
+		check string
+	}{
+		{"dce drops live def", buggyDCE{}, analysis.CheckDetachedValue},
+		{"cfg drops phi incoming", buggyCFG{}, analysis.CheckPhiMissing},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := progen.Benchmark("gsm")
+			seq := []passes.Pass{
+				byName("-mem2reg"),
+				byName("-instcombine"),
+				byName("-simplifycfg"),
+				tc.bug,
+				byName("-gvn"),
+				byName("-adce"),
+			}
+			pm := passes.NewManager()
+			pm.Sanitize = true
+			pm.ApplyPasses(m, seq)
+			rep := pm.SanitizerReport()
+			if rep == nil {
+				t.Fatal("sanitizer did not flag the buggy pass")
+			}
+			if rep.Pass != tc.bug.Name() {
+				t.Errorf("offender = %q, want %q", rep.Pass, tc.bug.Name())
+			}
+			// The pipeline must have halted at the offender: -gvn and -adce
+			// never ran.
+			if got := len(rep.Sequence); got != 4 {
+				t.Errorf("sequence ran %d passes, want halt at 4", got)
+			}
+			// Minimization must keep the offender and drop most of the
+			// healthy prefix.
+			if len(rep.Minimized) == 0 ||
+				rep.Minimized[len(rep.Minimized)-1] != tc.bug.Name() {
+				t.Errorf("minimized %v does not end with the offender", rep.Minimized)
+			}
+			if len(rep.Minimized) >= len(rep.Sequence) {
+				t.Errorf("minimization did not shrink: %d -> %d passes",
+					len(rep.Sequence), len(rep.Minimized))
+			}
+			if len(rep.Diags.ByCheck(tc.check)) == 0 {
+				t.Errorf("expected check %s, got %v", tc.check, rep.Diags.Checks())
+			}
+			if rep.Before == "" || rep.After == "" || rep.Before == rep.After {
+				t.Errorf("before/after IR dumps missing or identical")
+			}
+			if !strings.Contains(rep.String(), tc.bug.Name()) {
+				t.Errorf("report rendering does not name the offender")
+			}
+		})
+	}
+}
+
+// TestSanitizeMinimalRepro checks the standalone Sanitize entry point: the
+// minimized repro must itself fail, and clean pipelines must return nil.
+func TestSanitizeMinimalRepro(t *testing.T) {
+	m := progen.Benchmark("qsort")
+	rep := passes.Sanitize(m, []passes.Pass{
+		byName("-mem2reg"),
+		buggyCFG{},
+	})
+	if rep == nil {
+		t.Fatal("no report for buggy pipeline")
+	}
+	// Replaying the minimized sequence reproduces the failure.
+	var min []passes.Pass
+	for _, name := range rep.Minimized {
+		if name == "-buggy-simplifycfg" {
+			min = append(min, buggyCFG{})
+			continue
+		}
+		min = append(min, byName(name))
+	}
+	if rep2 := passes.Sanitize(m, min); rep2 == nil {
+		t.Error("minimized sequence does not reproduce the failure")
+	}
+	// A clean pipeline yields no report, and never mutates its input.
+	before := m.String()
+	if rep := passes.SanitizeSequence(m, passes.O3Sequence); rep != nil {
+		t.Errorf("O3 pipeline flagged:\n%s", rep)
+	}
+	if m.String() != before {
+		t.Error("Sanitize mutated its input module")
+	}
+}
