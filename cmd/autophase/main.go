@@ -249,6 +249,16 @@ func runLint(args []string) {
 			}
 			fmt.Printf("@%s: %d blocks, %d instrs, max live-out %d, %d dead defs, %d redundant exprs\n",
 				f.Name, len(f.Blocks), f.NumInstrs(), maxLive, len(lv.DeadDefs()), len(ae.Redundant()))
+			sc := analysis.ComputeSCEV(f)
+			for _, l := range sc.Loops() {
+				tr := sc.TripsOf(l)
+				if tr.Kind == analysis.TripFinite {
+					fmt.Printf("  loop %s (depth %d): %d trips, iv {%d,+,%d} i%d\n",
+						l.Header.Name, l.Depth, tr.BodyTrips, tr.IV.Start, tr.IV.Step, tr.IV.Bits)
+				} else {
+					fmt.Printf("  loop %s (depth %d): %s trip count\n", l.Header.Name, l.Depth, tr.Kind)
+				}
+			}
 		}
 	}
 	if diags.HasErrors() {

@@ -66,6 +66,26 @@ func (s Set[T]) Intersect(o Set[T]) {
 	}
 }
 
+// Propagate sweeps transfer over f's blocks in reverse postorder until no
+// sweep reports a change. It is the chaotic-iteration companion to Solve for
+// analyses whose state lives outside per-block fact sets (e.g. the
+// per-value interval map of the range analysis); transfer must be monotone
+// for the iteration to terminate.
+func Propagate(f *ir.Func, transfer func(b *ir.Block) bool) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	order := ir.NewDomTree(f).RPO()
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if transfer(b) {
+				changed = true
+			}
+		}
+	}
+}
+
 // Direction orients a dataflow problem.
 type Direction int
 

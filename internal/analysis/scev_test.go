@@ -1,0 +1,276 @@
+package analysis_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+// refExitCount is the reference oracle: the exit-test simulation the loop
+// passes used before SCEV, verbatim. The closed form must agree with it
+// everywhere it terminates.
+func refExitCount(start, step, bound int64, bits int, pred ir.CmpPred, onNext, exitWhen bool, max int64) (int64, bool) {
+	ty := ir.IntType(bits)
+	cur := ty.TruncVal(start)
+	for n := int64(1); n <= max; n++ {
+		next := ir.EvalBinary(ir.OpAdd, ty, cur, step)
+		x := cur
+		if onNext {
+			x = next
+		}
+		if pred.Eval(x, bound, bits) == exitWhen {
+			return n, true
+		}
+		cur = next
+	}
+	return 0, false
+}
+
+var allPreds = []ir.CmpPred{
+	ir.CmpEQ, ir.CmpNE, ir.CmpSLT, ir.CmpSLE, ir.CmpSGT, ir.CmpSGE,
+	ir.CmpULT, ir.CmpULE, ir.CmpUGT, ir.CmpUGE,
+}
+
+func TestExitCountDirected(t *testing.T) {
+	cases := []struct {
+		name               string
+		start, step, bound int64
+		bits               int
+		pred               ir.CmpPred
+		onNext, exitWhen   bool
+		wantN              int64
+		wantKind           analysis.TripKind
+	}{
+		// for (i = 0; i < 10; i++) — while form, exit when !(i < 10).
+		{"count-up-slt", 0, 1, 10, 32, ir.CmpSLT, false, false, 11, analysis.TripFinite},
+		// do { i++ } while (i < 10) — rotated, test on the incremented value.
+		{"rotated-slt", 0, 1, 10, 32, ir.CmpSLT, true, false, 10, analysis.TripFinite},
+		// for (i = 0; i != 40; i += 4)
+		{"ne-stride", 0, 4, 40, 32, ir.CmpNE, false, false, 11, analysis.TripFinite},
+		// i != 3 with step 4: 4k ≡ 3 (mod 2^32) has no solution.
+		{"ne-unreachable", 0, 4, 3, 32, ir.CmpNE, false, false, 0, analysis.TripInfinite},
+		// Step 0 and the first test fails: nothing ever changes.
+		{"step-zero", 5, 0, 10, 32, ir.CmpSGE, false, true, 0, analysis.TripInfinite},
+		// i8 loop with a bound beyond the type: i < 300 is always true.
+		{"i8-wide-bound-exit", 0, 1, 300, 8, ir.CmpSLT, false, true, 1, analysis.TripFinite},
+		{"i8-wide-bound-never", 0, 1, 300, 8, ir.CmpSLT, false, false, 0, analysis.TripInfinite},
+		// Wraparound: i8 counting up from 100 by 10 exits once it wraps
+		// negative: 100, 110, 120, -126 (at n=4).
+		{"i8-wrap", 100, 10, 0, 8, ir.CmpSLT, false, true, 4, analysis.TripFinite},
+		// Unsigned: for (i = 0; i ult 7; i += 3) — 0, 3, 6, 9: exit at 9.
+		{"ult-stride", 0, 3, 7, 32, ir.CmpULT, false, false, 4, analysis.TripFinite},
+		// Unsigned with a negative (= huge) start: exits immediately.
+		{"ult-neg-start", -1, 1, 10, 32, ir.CmpULT, false, false, 1, analysis.TripFinite},
+		// Down-counting: for (i = 9; i > 0; i--)
+		{"count-down", 9, -1, 0, 32, ir.CmpSGT, false, false, 10, analysis.TripFinite},
+		// eq on the exact lattice point: i == 6 with step 2 from 0.
+		{"eq-hit", 0, 2, 6, 16, ir.CmpEQ, false, true, 4, analysis.TripFinite},
+		// 64-bit: no wraparound epoch needed, huge counts still closed form.
+		{"i64-large", 0, 1, 1 << 40, 64, ir.CmpSLT, false, false, 1<<40 + 1, analysis.TripFinite},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, kind := analysis.ExitCount(tc.start, tc.step, tc.bound, tc.bits, tc.pred, tc.onNext, tc.exitWhen)
+			if n != tc.wantN || kind != tc.wantKind {
+				t.Fatalf("ExitCount = (%d, %v), want (%d, %v)", n, kind, tc.wantN, tc.wantKind)
+			}
+			if tc.wantKind == analysis.TripFinite && tc.wantN <= 1<<21 {
+				rn, ok := refExitCount(tc.start, tc.step, tc.bound, tc.bits, tc.pred, tc.onNext, tc.exitWhen, 1<<21)
+				if !ok || rn != tc.wantN {
+					t.Fatalf("reference simulation = (%d, %v), want (%d, true)", rn, ok, tc.wantN)
+				}
+			}
+		})
+	}
+}
+
+// TestExitCountDifferential cross-checks the closed form against the
+// simulation oracle on randomized parameters. For widths <= 16 the value
+// sequence's full period fits under the simulation cap, so TripInfinite
+// claims are verified exactly, not just up to the cap.
+func TestExitCountDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const simCap = 1 << 18
+	widths := []int{1, 8, 16, 32, 64}
+	kinds := map[analysis.TripKind]int{}
+	trials := 30000
+	if testing.Short() {
+		trials = 3000
+	}
+	for trial := 0; trial < trials; trial++ {
+		bits := widths[rng.Intn(len(widths))]
+		span := int64(1) << 10
+		if bits < 10 {
+			span = int64(1) << uint(bits+2)
+		}
+		r := func() int64 {
+			v := rng.Int63n(2*span+1) - span
+			if rng.Intn(8) == 0 {
+				// Occasionally push values far outside the type to exercise
+				// truncation and non-representable bounds.
+				v = rng.Int63() - rng.Int63()
+			}
+			return v
+		}
+		start, step, bound := r(), r(), r()
+		pred := allPreds[rng.Intn(len(allPreds))]
+		onNext := rng.Intn(2) == 0
+		exitWhen := rng.Intn(2) == 0
+
+		n, kind := analysis.ExitCount(start, step, bound, bits, pred, onNext, exitWhen)
+		kinds[kind]++
+		rn, rok := refExitCount(start, step, bound, bits, pred, onNext, exitWhen, simCap)
+		ctx := func() string {
+			return "start=" + itoa(start) + " step=" + itoa(step) + " bound=" + itoa(bound) +
+				" bits=" + itoa(int64(bits)) + " pred=" + pred.String() +
+				" onNext=" + bstr(onNext) + " exitWhen=" + bstr(exitWhen)
+		}
+		switch kind {
+		case analysis.TripFinite:
+			if n <= simCap {
+				if !rok || rn != n {
+					t.Fatalf("%s: closed form says n=%d, simulation says (%d, %v)", ctx(), n, rn, rok)
+				}
+			} else if rok {
+				t.Fatalf("%s: closed form says n=%d, but simulation exits at %d", ctx(), n, rn)
+			}
+		case analysis.TripInfinite:
+			if rok {
+				t.Fatalf("%s: closed form says infinite, but simulation exits at %d", ctx(), rn)
+			}
+		case analysis.TripUnknown:
+			// Allowed: the caller falls back to bounded simulation.
+		}
+	}
+	if kinds[analysis.TripFinite] < 5000 || kinds[analysis.TripInfinite] < 1000 {
+		t.Fatalf("kind distribution too skewed for a meaningful test: %v", kinds)
+	}
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [24]byte
+	i := len(buf)
+	u := uint64(v)
+	if neg {
+		u = -u
+	}
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+func bstr(b bool) string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// whileLoop builds the canonical while-form counted loop
+//
+//	entry:  br header
+//	header: i = phi [start, entry], [inext, latch]; c = icmp pred i, bound; br c, body, exit
+//	body:   br latch
+//	latch:  inext = add i, step; br header
+//	exit:   ret 0
+func whileLoop(start, step, bound int64, pred ir.CmpPred) (*ir.Module, *ir.Instr) {
+	m := ir.NewModule("scev")
+	f := m.NewFunc("main", ir.I32)
+	entry := f.NewBlock("entry")
+	header := f.NewBlock("header")
+	body := f.NewBlock("body")
+	latch := f.NewBlock("latch")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	b.Br(header)
+	b.SetInsert(header)
+	i := b.Phi(ir.I32)
+	c := b.ICmp(pred, i, ir.ConstInt(ir.I32, bound))
+	b.CondBr(c, body, exit)
+	b.SetInsert(body)
+	b.Br(latch)
+	b.SetInsert(latch)
+	inext := b.Add(i, ir.ConstInt(ir.I32, step))
+	b.Br(header)
+	b.SetInsert(exit)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+	i.SetPhiIncoming(entry, ir.ConstInt(ir.I32, start))
+	i.SetPhiIncoming(latch, inext)
+	return m, i
+}
+
+func TestComputeSCEVWhileLoop(t *testing.T) {
+	m, phi := whileLoop(0, 1, 10, ir.CmpSLT)
+	f := m.Func("main")
+	sc := analysis.ComputeSCEV(f)
+	if len(sc.Loops()) != 1 {
+		t.Fatalf("found %d loops, want 1", len(sc.Loops()))
+	}
+	l := sc.Loops()[0]
+	tr := sc.TripsOf(l)
+	if tr.Kind != analysis.TripFinite || tr.BodyTrips != 10 || tr.HeaderExecs != 11 || !tr.HeaderExit {
+		t.Fatalf("trips = %+v, want finite body=10 header=11 headerExit", tr)
+	}
+	rec, ok := sc.AddRecOf(phi)
+	if !ok || rec.Start != 0 || rec.Step != 1 || rec.Bits != 32 {
+		t.Fatalf("AddRecOf = %+v (ok=%v), want {0,+,1} i32", rec, ok)
+	}
+	iv, ok := sc.PhiRange(phi)
+	if !ok || iv != (analysis.Interval{Lo: 0, Hi: 10}) {
+		t.Fatalf("PhiRange = %v (ok=%v), want [0, 10]", iv, ok)
+	}
+}
+
+func TestComputeSCEVRotatedLoop(t *testing.T) {
+	// do { i++ } while (i < 10): single-block loop, header == latch.
+	m := ir.NewModule("scev")
+	f := m.NewFunc("main", ir.I32)
+	entry := f.NewBlock("entry")
+	loop := f.NewBlock("loop")
+	exit := f.NewBlock("exit")
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	b.Br(loop)
+	b.SetInsert(loop)
+	i := b.Phi(ir.I32)
+	inext := b.Add(i, ir.ConstInt(ir.I32, 1))
+	c := b.ICmp(ir.CmpSLT, inext, ir.ConstInt(ir.I32, 10))
+	b.CondBr(c, loop, exit)
+	b.SetInsert(exit)
+	b.Ret(ir.ConstInt(ir.I32, 0))
+	i.SetPhiIncoming(entry, ir.ConstInt(ir.I32, 0))
+	i.SetPhiIncoming(loop, inext)
+
+	sc := analysis.ComputeSCEV(f)
+	if len(sc.Loops()) != 1 {
+		t.Fatalf("found %d loops, want 1", len(sc.Loops()))
+	}
+	tr := sc.TripsOf(sc.Loops()[0])
+	if tr.Kind != analysis.TripFinite || tr.BodyTrips != 10 || tr.HeaderExecs != 10 || tr.HeaderExit {
+		t.Fatalf("trips = %+v, want finite body=10 header=10 latch-exit", tr)
+	}
+}
+
+func TestComputeSCEVInfinite(t *testing.T) {
+	// for (i = 0; i != 3; i += 4): 4k ≡ 3 (mod 2^32) has no solution.
+	m, _ := whileLoop(0, 4, 3, ir.CmpNE)
+	sc := analysis.ComputeSCEV(m.Func("main"))
+	tr := sc.TripsOf(sc.Loops()[0])
+	if tr.Kind != analysis.TripInfinite {
+		t.Fatalf("trips = %+v, want infinite", tr)
+	}
+}

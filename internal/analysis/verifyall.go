@@ -35,6 +35,13 @@ const (
 	CheckDeadDefUse    = "dataflow.dead-def"  // a same-block use before the def point (the def is not yet live)
 	CheckUnknownMemObj = "mem.unknown-object" // load/store/memset through a pointer with no known root
 	CheckUndefMemObj   = "mem.undef-object"   // reachable load/store/memset through an undef pointer
+
+	// Range-analysis lints (Warning severity: the module still executes,
+	// but the flagged operation is provably broken when reached).
+	CheckRangeGEPOOB  = "range.gep-out-of-bounds" // access offset provably outside the object's cells
+	CheckRangeDivZero = "range.div-by-zero"       // divisor is provably always zero
+	CheckRangeShift   = "range.shift-oversized"   // shift amount provably >= width or negative
+	CheckRangeInfLoop = "range.infinite-loop"     // loop exit condition provably never fires
 )
 
 // VerifyAll checks every structural invariant ir.Verify enforces, plus the
@@ -199,6 +206,124 @@ func verifyFuncAll(c *collector, m *ir.Module, f *ir.Func) {
 		}
 	}
 	verifyDataflow(c, f, reach)
+	verifyRanges(c, f, reach)
+}
+
+// verifyRanges is the range-powered lint layer: interval facts strong
+// enough to prove an operation broken on every execution that reaches it.
+// All findings are warnings — the module is still structurally valid and
+// executable (the interpreter will trap or spin at runtime).
+func verifyRanges(c *collector, f *ir.Func, reach map[*ir.Block]bool) {
+	r := ComputeRanges(f)
+	for _, b := range f.Blocks {
+		if !reach[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpSDiv, ir.OpSRem:
+				if r.At(in.Args[1], b) == Point(0) {
+					c.warnf(CheckRangeDivZero, b, in, "divisor %s is provably always zero", in.Args[1].Ref())
+				}
+			case ir.OpShl, ir.OpLShr, ir.OpAShr:
+				width := int64(64)
+				if in.Ty.IsInt() && in.Ty.Bits > 0 {
+					width = int64(in.Ty.Bits)
+				}
+				amt := r.At(in.Args[1], b)
+				if amt.Lo >= width || amt.Hi < 0 {
+					c.warnf(CheckRangeShift, b, in, "shift amount %s is provably %s (width %d)",
+						in.Args[1].Ref(), amt.String(), width)
+				}
+			case ir.OpLoad, ir.OpStore:
+				checkAccessBounds(c, r, b, in)
+			}
+		}
+	}
+	for _, l := range r.SCEV().Loops() {
+		if !reach[l.Header] || r.SCEV().TripsOf(l).Kind != TripInfinite {
+			continue
+		}
+		if loopEscapes(l) {
+			continue
+		}
+		c.warnf(CheckRangeInfLoop, l.Header, l.Header.Term(),
+			"loop at %s: exit condition provably never fires", l.Header.Label())
+	}
+}
+
+// ptrOffBits mirrors the interpreter's pointer encoding: offsets live in a
+// 28-bit signed field, so offset arithmetic is only faithful (and an
+// out-of-bounds proof only valid) while every intermediate sum stays inside
+// that field.
+const ptrOffBits = 28
+
+// checkAccessBounds warns when a load/store address provably lands outside
+// its object. The address must resolve through a GEP/bitcast chain to an
+// alloca or global with a known cell count, and the accumulated offset
+// interval must avoid the interpreter's pointer-offset wraparound.
+func checkAccessBounds(c *collector, r *Ranges, b *ir.Block, in *ir.Instr) {
+	addr := in.Args[len(in.Args)-1] // load: [ptr]; store: [val, ptr]
+	off := Point(0)
+	lim := Interval{-(1 << (ptrOffBits - 1)), 1<<(ptrOffBits-1) - 1}
+	v := addr
+	for {
+		instr, ok := v.(*ir.Instr)
+		if !ok {
+			break
+		}
+		switch instr.Op {
+		case ir.OpGEP:
+			off = evalBinaryIvl(ir.OpAdd, ir.I64, off, r.At(instr.Args[1], b))
+			if !lim.ContainsIvl(off) {
+				return // offset may wrap in the 28-bit field; no proof
+			}
+			v = instr.Args[0]
+			continue
+		case ir.OpBitCast:
+			v = instr.Args[0]
+			continue
+		}
+		break
+	}
+	cells := int64(-1)
+	switch obj := v.(type) {
+	case *ir.Instr:
+		if obj.Op == ir.OpAlloca {
+			cells = 1
+			if obj.AllocTy != nil && obj.AllocTy.Kind == ir.ArrayKind {
+				cells = int64(obj.AllocTy.Len)
+			}
+		}
+	case *ir.Global:
+		cells = int64(obj.NumElems())
+	}
+	if cells < 0 {
+		return
+	}
+	if off.Hi < 0 || off.Lo >= cells {
+		c.warnf(CheckRangeGEPOOB, b, in, "access offset %s provably outside object of %d cells",
+			off.String(), cells)
+	}
+}
+
+// loopEscapes reports whether l's body can leave the loop without taking
+// the recognized exit edge — a ret leaves the function, an unreachable (or
+// a possibly-trapping division) aborts execution.
+func loopEscapes(l *ir.Loop) bool {
+	for _, b := range l.Body {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpRet, ir.OpUnreachable, ir.OpCall:
+				return true
+			case ir.OpSDiv, ir.OpSRem:
+				if cv, ok := ir.IsConst(in.Args[1]); !ok || cv == 0 {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // verifyDataflow is the sanitizer's independent consistency layer: the

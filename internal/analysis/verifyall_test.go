@@ -173,8 +173,8 @@ func TestVerifyAllBrokenModules(t *testing.T) {
 // both are reported in one run — the property ir.Verify lacks.
 func TestVerifyAllCollectsAll(t *testing.T) {
 	m, ins := base()
-	fblock(m, "then").Remove(ins["w"])                       // detached value
-	ins["r"].RemovePhiIncoming(fblock(m, "entry"))           // missing incoming
+	fblock(m, "then").Remove(ins["w"])             // detached value
+	ins["r"].RemovePhiIncoming(fblock(m, "entry")) // missing incoming
 	ds := analysis.VerifyAll(m)
 	if len(ds.ByCheck(analysis.CheckDetachedValue)) == 0 ||
 		len(ds.ByCheck(analysis.CheckPhiMissing)) == 0 {

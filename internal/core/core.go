@@ -27,15 +27,17 @@ type Program struct {
 	O0Cycles int64 // cycles with no optimization
 	O3Cycles int64 // cycles after the -O3 reference pipeline
 
-	hlsCfg    hls.Config
-	lim       interp.Limits
-	mu        sync.Mutex // guards the fields below (A3C workers share one Program)
-	cache     map[string]compileResult
-	featCache map[string][]int64
-	irCache   map[string]*ir.Module // optimized IR per sequence prefix
-	samples   int
-	best      int64 // best cycle count seen since the last reset
-	bestSeq   []int
+	hlsCfg     hls.Config
+	lim        interp.Limits
+	mu         sync.Mutex // guards the fields below (A3C workers share one Program)
+	cache      map[string]compileResult
+	featCache  map[string][]int64
+	irCache    map[string]*ir.Module // optimized IR per sequence prefix
+	irOrder    []string              // irCache keys in insertion order (eviction)
+	samples    int
+	staticHits int   // profiles answered by the SCEV static estimator
+	best       int64 // best cycle count seen since the last reset
+	bestSeq    []int
 
 	// Sanitizer mode (EnableSanitizer): every compile runs the pass
 	// sanitizer; a failing sequence is marked bad (Compile returns !ok, so
@@ -49,8 +51,8 @@ type Program struct {
 // irCacheCap bounds the per-program optimized-IR cache; episodes extend
 // sequences one pass at a time, so the previous prefix is almost always
 // resident and each compile costs one pass application instead of the
-// whole sequence.
-const irCacheCap = 2048
+// whole sequence. It is a variable only so tests can shrink it.
+var irCacheCap = 2048
 
 type compileResult struct {
 	cycles int64
@@ -70,19 +72,36 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 		cache:   make(map[string]compileResult),
 		irCache: make(map[string]*ir.Module),
 	}
-	r0, err := hls.Profile(p.orig, p.hlsCfg, p.lim)
+	r0, err := p.profile(p.orig)
 	if err != nil {
 		return nil, fmt.Errorf("core: O0 profile of %s: %w", name, err)
 	}
 	p.O0Cycles = r0.Cycles
 	o3 := p.orig.Clone()
 	passes.ApplyO3(o3)
-	r3, err := hls.Profile(o3, p.hlsCfg, p.lim)
+	r3, err := p.profile(o3)
 	if err != nil {
 		return nil, fmt.Errorf("core: O3 profile of %s: %w", name, err)
 	}
 	p.O3Cycles = r3.Cycles
 	return p, nil
+}
+
+// profile estimates m's cycle count, preferring the SCEV static fast path
+// over an interpreter run. Under the sanitizer both paths run and must
+// agree exactly. Callers hold p.mu (or own p exclusively).
+func (p *Program) profile(m *ir.Module) (*hls.Report, error) {
+	var rep *hls.Report
+	var err error
+	if p.sanitize {
+		rep, err = hls.ProfileChecked(m, p.hlsCfg, p.lim)
+	} else {
+		rep, err = hls.ProfileFast(m, p.hlsCfg, p.lim)
+	}
+	if err == nil && rep.Static {
+		p.staticHits++
+	}
+	return rep, err
 }
 
 // Module returns a fresh clone of the original (unoptimized) module.
@@ -140,15 +159,18 @@ func (p *Program) Compile(seq []int) (cycles int64, feats []int64, ok bool) {
 		p.cache[key] = res
 		return 0, nil, false
 	}
-	if rep, err := hls.Profile(m, p.hlsCfg, p.lim); err == nil {
+	if rep, err := p.profile(m); err == nil {
 		res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
 			feats: features.Extract(m), ok: true}
 		if p.best == 0 || rep.Cycles < p.best {
 			p.best = rep.Cycles
 			p.bestSeq = append([]int(nil), seq...)
 		}
+		p.cache[key] = res
 	}
-	p.cache[key] = res
+	// Failed profiles (limit overruns, traps) are deliberately not cached:
+	// a limit error depends on the configured interp.Limits and must be
+	// re-evaluated — and re-counted as a sample — on every query.
 	return res.cycles, res.feats, res.ok
 }
 
@@ -196,11 +218,36 @@ func (p *Program) buildIR(seq []int, key string) *ir.Module {
 	} else {
 		passes.Apply(m, seq[start:])
 	}
-	if len(p.irCache) >= irCacheCap {
-		p.irCache = make(map[string]*ir.Module, irCacheCap)
+	p.irCachePut(key, m)
+	return m
+}
+
+// irCachePut inserts key into the bounded IR cache, evicting the oldest
+// entries first but never a strict prefix of key: episodes extend one
+// sequence a pass at a time, and evicting the active episode's own prefix
+// chain would force every subsequent step to recompile from scratch.
+func (p *Program) irCachePut(key string, m *ir.Module) {
+	if _, ok := p.irCache[key]; !ok {
+		for len(p.irCache) >= irCacheCap {
+			victim := -1
+			for i, k := range p.irOrder {
+				if len(k) < len(key) && key[:len(k)] == k {
+					continue // prefix of the sequence being extended
+				}
+				victim = i
+				break
+			}
+			if victim < 0 {
+				// Everything resident is a prefix of key. Evict the oldest
+				// (shortest) one: buildIR only needs the longest prefix.
+				victim = 0
+			}
+			delete(p.irCache, p.irOrder[victim])
+			p.irOrder = append(p.irOrder[:victim], p.irOrder[victim+1:]...)
+		}
+		p.irOrder = append(p.irOrder, key)
 	}
 	p.irCache[key] = m
-	return m
 }
 
 // BestCycles returns the best cycle count (and its sequence) observed by
@@ -234,7 +281,27 @@ func (p *Program) ResetSamples(dropCache bool) {
 		p.cache = make(map[string]compileResult)
 		p.featCache = nil
 		p.irCache = make(map[string]*ir.Module)
+		p.irOrder = nil
 	}
+}
+
+// StaticProfiles reports how many profiler invocations were answered by the
+// SCEV-based static estimator instead of an interpreter run (baselines
+// included).
+func (p *Program) StaticProfiles() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.staticHits
+}
+
+// SetLimits replaces the interpreter limits used by subsequent profiles and
+// drops the memoized compile results, whose success verdicts depend on the
+// limits. The optimized-IR cache is kept: IR does not.
+func (p *Program) SetLimits(lim interp.Limits) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.lim = lim
+	p.cache = make(map[string]compileResult)
 }
 
 // SpeedupOverO3 converts a cycle count into the paper's headline metric:

@@ -15,6 +15,10 @@ type Report struct {
 	AreaLUT int   // functional-unit area estimate
 	Steps   int   // interpreter steps (software-trace length)
 	Exit    int64 // program exit value (for validation)
+	// Static marks a report derived by the SCEV-based static estimator
+	// instead of an interpreter run. On static reports Exit is only
+	// populated when the return value is itself statically determined.
+	Static bool
 }
 
 // Profile schedules the module and executes it to estimate the clock-cycle

@@ -1,0 +1,584 @@
+package hls
+
+import (
+	"fmt"
+	"math"
+
+	"autophase/internal/analysis"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+)
+
+// This file is the static cycle estimator: for programs whose basic-block
+// execution frequencies are fully determined by closed-form loop trip counts
+// and statically decided branches, the interpreter run in Profile can be
+// replaced by arithmetic over the SCEV results. The accounting reproduces
+// interp.Run exactly — same per-block counts, step totals, memset cell
+// counter and per-call handshakes — so that wherever StaticProfile claims
+// applicability its Report agrees with the interpreter's to the cycle.
+// Every construct it cannot model exactly (data-dependent branches,
+// unprovable memory accesses, possible traps, limit overruns, recursion)
+// makes it decline, and callers fall back to the interpreter.
+
+// ptrOffField is the unsigned width of the pointer offset field in the
+// interpreter's pointer encoding (interp's offBits). An access is provably
+// in bounds only when every intermediate GEP offset stays inside the field,
+// so that encode/decode round-trips are lossless along the whole chain.
+const ptrOffField = 1<<28 - 1
+
+// funcStatic is the per-invocation summary of one function: how often each
+// block runs, what the run costs, and whom it calls — all independent of
+// the arguments, which is a precondition the analysis enforces (any branch
+// whose outcome the value ranges cannot pin down makes it fail).
+type funcStatic struct {
+	fn         *ir.Func
+	freq       map[*ir.Block]int64 // block executions per invocation
+	steps      int64               // interpreter steps per invocation (own frame only)
+	msetCells  int64               // memset cell-counter delta per invocation
+	allocCells int64               // memory cells allocated per invocation
+	calls      map[*ir.Func]int64  // direct callee invocations per invocation
+	ret        analysis.Interval   // range of the returned value
+}
+
+// staticAnalyzer memoizes per-function summaries while walking the call
+// graph; a nil memo entry records an analysis failure.
+type staticAnalyzer struct {
+	memo     map[*ir.Func]*funcStatic
+	visiting map[*ir.Func]bool
+}
+
+// StaticProfile computes the Report of Profile without running the
+// interpreter, when the module lies in the statically-determined fragment:
+// all executed loops have closed-form finite trip counts, all other branch
+// decisions follow from the value ranges, every executed memory access and
+// division is provably safe, there is no recursion, and the execution fits
+// the limits. It reports ok=false otherwise; it never guesses.
+func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) {
+	main := m.Func("main")
+	if main == nil {
+		return nil, false
+	}
+	sa := &staticAnalyzer{
+		memo:     make(map[*ir.Func]*funcStatic),
+		visiting: make(map[*ir.Func]bool),
+	}
+	// The interpreter invokes main with zero arguments.
+	hints := make([]analysis.Interval, len(main.Params))
+	for i := range hints {
+		hints[i] = analysis.Point(0)
+	}
+	fsMain, ok := sa.analyze(main, hints)
+	if !ok {
+		return nil, false
+	}
+	// Invocation counts over the (acyclic) call graph, callers first.
+	order := sa.topo(main)
+	inv := map[*ir.Func]int64{main: 1}
+	for _, f := range order {
+		n := inv[f]
+		if n == 0 {
+			continue
+		}
+		for g, c := range sa.memo[f].calls {
+			nc, ok1 := mulChk(n, c)
+			t, ok2 := addChk(inv[g], nc)
+			if !ok1 || !ok2 {
+				return nil, false
+			}
+			inv[g] = t
+		}
+	}
+	// Call depth: the longest invocation chain must fit MaxDepth (main runs
+	// at depth 0).
+	if sa.height(main, make(map[*ir.Func]int64)) > int64(lim.MaxDepth) {
+		return nil, false
+	}
+	// Steps, cells and the memset counter, scaled by invocation counts.
+	var steps, cells, mset int64
+	for _, g := range m.Globals {
+		cells += int64(g.NumElems())
+	}
+	for _, f := range order {
+		fs, n := sa.memo[f], inv[f]
+		if n == 0 {
+			continue
+		}
+		var ok1, ok2, ok3 bool
+		var d int64
+		if d, ok1 = mulChk(n, fs.steps); ok1 {
+			steps, ok1 = addChk(steps, d)
+		}
+		if d, ok2 = mulChk(n, fs.allocCells); ok2 {
+			cells, ok2 = addChk(cells, d)
+		}
+		if d, ok3 = mulChk(n, fs.msetCells); ok3 {
+			mset, ok3 = addChk(mset, d)
+		}
+		if !ok1 || !ok2 || !ok3 {
+			return nil, false
+		}
+	}
+	if steps > int64(lim.MaxSteps) || cells > int64(lim.MaxCells) {
+		return nil, false // the interpreter would trip a limit; let it
+	}
+	// cycles = Σ freq(b)·states(b) + memset cells + one handshake per call.
+	sched := Schedule(m, cfg)
+	cycles := mset
+	for _, f := range order {
+		fs, n := sa.memo[f], inv[f]
+		if n == 0 {
+			continue
+		}
+		per := int64(0)
+		okAll := true
+		for b, c := range fs.freq {
+			var d int64
+			var ok bool
+			if d, ok = mulChk(c, int64(sched.StatesOf(b))); ok {
+				per, ok = addChk(per, d)
+			}
+			okAll = okAll && ok
+		}
+		var d int64
+		var ok bool
+		if d, ok = mulChk(n, per); ok {
+			cycles, ok = addChk(cycles, d)
+		}
+		if c, ok2 := addChk(cycles, n); ok && ok2 {
+			cycles = c // return handshake per invocation, main included
+		} else {
+			okAll = false
+		}
+		if !okAll {
+			return nil, false
+		}
+	}
+	rep := &Report{
+		Cycles:  cycles,
+		AreaLUT: sched.Area(),
+		Steps:   int(steps),
+		Static:  true,
+	}
+	// Exit is populated only when the returned value is itself a static
+	// point; frequency-exactness does not require value-exactness.
+	if fsMain.ret.IsPoint() {
+		rep.Exit = fsMain.ret.Lo
+	}
+	return rep, true
+}
+
+// ProfileFast returns the static estimate when the module admits one and
+// falls back to the interpreter-backed Profile otherwise.
+func ProfileFast(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	if rep, ok := StaticProfile(m, cfg, lim); ok {
+		return rep, nil
+	}
+	return Profile(m, cfg, lim)
+}
+
+// ProfileChecked runs both the static and the interpreted path and errors
+// when the static path claimed applicability but disagreed — the sanitizer
+// cross-check for the fast path. The returned report is the interpreter's.
+func ProfileChecked(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	static, ok := StaticProfile(m, cfg, lim)
+	rep, err := Profile(m, cfg, lim)
+	if !ok {
+		return rep, err
+	}
+	if err != nil {
+		return rep, fmt.Errorf("hls static profile: claimed success but interpreter failed: %w", err)
+	}
+	if static.Cycles != rep.Cycles || static.Steps != rep.Steps {
+		return rep, fmt.Errorf("hls static profile: cycles %d / steps %d, interpreter got cycles %d / steps %d",
+			static.Cycles, static.Steps, rep.Cycles, rep.Steps)
+	}
+	rep.Static = true
+	return rep, nil
+}
+
+// analyze returns f's memoized summary, failing on recursion.
+func (sa *staticAnalyzer) analyze(f *ir.Func, hints []analysis.Interval) (*funcStatic, bool) {
+	if fs, seen := sa.memo[f]; seen {
+		return fs, fs != nil
+	}
+	if sa.visiting[f] {
+		return nil, false // recursion: depth is data-dependent
+	}
+	sa.visiting[f] = true
+	fs := sa.analyzeFunc(f, hints)
+	delete(sa.visiting, f)
+	sa.memo[f] = fs
+	return fs, fs != nil
+}
+
+// topo returns main's call-graph closure callers-first (the graph is
+// acyclic: analyze rejected recursion).
+func (sa *staticAnalyzer) topo(main *ir.Func) []*ir.Func {
+	var order []*ir.Func
+	seen := make(map[*ir.Func]bool)
+	var visit func(f *ir.Func)
+	visit = func(f *ir.Func) {
+		if seen[f] {
+			return
+		}
+		seen[f] = true
+		for g := range sa.memo[f].calls {
+			visit(g)
+		}
+		order = append(order, f)
+	}
+	visit(main)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// height is the longest call chain below f, in edges.
+func (sa *staticAnalyzer) height(f *ir.Func, memo map[*ir.Func]int64) int64 {
+	if h, ok := memo[f]; ok {
+		return h
+	}
+	var h int64
+	for g, c := range sa.memo[f].calls {
+		if c == 0 {
+			continue
+		}
+		if gh := sa.height(g, memo) + 1; gh > h {
+			h = gh
+		}
+	}
+	memo[f] = h
+	return h
+}
+
+// analyzeFunc computes the per-invocation summary, or nil when any executed
+// construct escapes the static model.
+func (sa *staticAnalyzer) analyzeFunc(f *ir.Func, hints []analysis.Interval) *funcStatic {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	rng := analysis.ComputeRangesHint(f, hints)
+	scev := rng.SCEV()
+	rpo := scev.Dom().RPO()
+	idx := make(map[*ir.Block]int, len(rpo))
+	for i, b := range rpo {
+		idx[b] = i
+	}
+	fs := &funcStatic{
+		fn:    f,
+		freq:  make(map[*ir.Block]int64),
+		calls: make(map[*ir.Func]int64),
+	}
+	flow := map[*ir.Block]int64{f.Entry(): 1}
+	entries := make(map[*ir.Loop]int64)
+	// addFlow routes n executions along the edge from -> to. Back edges are
+	// dropped: re-entries are what the header's trip multiplication models.
+	// Any other edge to an already-processed block means the propagation
+	// order cannot express the CFG, so the analysis declines.
+	addFlow := func(from, to *ir.Block, n int64) bool {
+		if n == 0 {
+			return true
+		}
+		for l := scev.InnermostLoop(from); l != nil; l = l.Parent {
+			if l.Header == to {
+				return true
+			}
+		}
+		if j, ok := idx[to]; !ok || j <= idx[from] {
+			return false
+		}
+		var ok bool
+		flow[to], ok = addChk(flow[to], n)
+		return ok
+	}
+	retFlow := int64(0)
+	for _, b := range rpo {
+		n := flow[b]
+		l := scev.InnermostLoop(b)
+		if l != nil && l.Header == b {
+			if n == 0 {
+				continue // the loop is never entered; its body stays at 0
+			}
+			tr := scev.TripsOf(l)
+			if tr.Kind != analysis.TripFinite {
+				return nil // unknown or infinite: the interpreter must decide
+			}
+			entries[l] = n
+			var ok bool
+			if n, ok = mulChk(n, tr.HeaderExecs); !ok {
+				return nil
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		fs.freq[b] = n
+		if !sa.scanBlock(fs, rng, b, n) {
+			return nil
+		}
+		t := b.Term()
+		if t == nil || t != b.Instrs[len(b.Instrs)-1] {
+			return nil
+		}
+		switch {
+		case t.Op == ir.OpRet:
+			// A return inside a loop would cut the modeled trips short, and
+			// a frequency other than 1 cannot happen in a real invocation.
+			if n != 1 || l != nil {
+				return nil
+			}
+			retFlow += n
+			if len(t.Args) == 1 {
+				fs.ret = rng.At(t.Args[0], b)
+			} else {
+				fs.ret = analysis.Point(0)
+			}
+		case t.Op == ir.OpUnreachable:
+			return nil // executing it is a trap
+		case t.Op == ir.OpBr && len(t.Blocks) == 1:
+			if !addFlow(b, t.Blocks[0], n) {
+				return nil
+			}
+		case t.IsConditionalBr():
+			if t.Blocks[0] == t.Blocks[1] {
+				if !addFlow(b, t.Blocks[0], n) {
+					return nil
+				}
+				break
+			}
+			if ok, done := sa.loopExitFlow(scev, entries, addFlow, b, l, n); done {
+				if !ok {
+					return nil
+				}
+				break
+			}
+			// Not a recognized loop exit: the ranges must decide the branch
+			// outright (every execution takes the same edge).
+			c := rng.At(t.Args[0], b)
+			switch {
+			case !c.Contains(0):
+				if !addFlow(b, t.Blocks[0], n) {
+					return nil
+				}
+			case c.IsPoint(): // the point is 0
+				if !addFlow(b, t.Blocks[1], n) {
+					return nil
+				}
+			default:
+				return nil
+			}
+		case t.Op == ir.OpSwitch:
+			c := rng.At(t.Args[0], b)
+			if !c.IsPoint() {
+				return nil
+			}
+			target := t.Blocks[0]
+			for i, cv := range t.Cases {
+				if cv == c.Lo {
+					target = t.Blocks[i+1]
+					break
+				}
+			}
+			if !addFlow(b, target, n) {
+				return nil
+			}
+		default:
+			return nil
+		}
+	}
+	if retFlow != 1 {
+		return nil // the invocation must return exactly once
+	}
+	return fs
+}
+
+// loopExitFlow handles b's conditional branch when b is the recognized
+// exiting block of a loop on its nest chain: each loop entry exits exactly
+// once, the rest of the flow stays inside. done reports whether b was such
+// an exit (ok is only meaningful then).
+func (sa *staticAnalyzer) loopExitFlow(scev *analysis.SCEV, entries map[*ir.Loop]int64,
+	addFlow func(from, to *ir.Block, n int64) bool, b *ir.Block, l *ir.Loop, n int64) (ok, done bool) {
+	for x := l; x != nil; x = x.Parent {
+		tr := scev.TripsOf(x)
+		if tr.Kind != analysis.TripFinite || tr.Exiting != b {
+			continue
+		}
+		e := entries[x]
+		// Consistency: in both rotated and while form the exiting block runs
+		// once per header execution, entries(x)·HeaderExecs times in total.
+		if want, okm := mulChk(e, tr.HeaderExecs); !okm || want != n {
+			return false, true
+		}
+		t := b.Term()
+		exitTo, stayTo := t.Blocks[0], t.Blocks[1]
+		if x.Contains(exitTo) {
+			exitTo, stayTo = stayTo, exitTo
+		}
+		return addFlow(b, exitTo, e) && addFlow(b, stayTo, n-e), true
+	}
+	return false, false
+}
+
+// scanBlock accumulates the per-invocation costs of block b at frequency n
+// and proves every instruction in it safe: no trap the interpreter could
+// take, no op outside the model.
+func (sa *staticAnalyzer) scanBlock(fs *funcStatic, rng *analysis.Ranges, b *ir.Block, n int64) bool {
+	var ok bool
+	if d, okm := mulChk(n, int64(len(b.Instrs))); okm {
+		fs.steps, ok = addChk(fs.steps, d)
+	}
+	if !ok {
+		return false
+	}
+	for _, in := range b.Instrs {
+		switch {
+		case in.Op == ir.OpSDiv || in.Op == ir.OpSRem:
+			if rng.At(in.Args[1], b).Contains(0) {
+				return false // possible division-by-zero trap
+			}
+		case in.Op == ir.OpAlloca:
+			cells := int64(1)
+			if in.AllocTy.Kind == ir.ArrayKind {
+				cells = int64(in.AllocTy.Len)
+			}
+			var d int64
+			if d, ok = mulChk(n, cells); ok {
+				fs.allocCells, ok = addChk(fs.allocCells, d)
+			}
+			if !ok {
+				return false
+			}
+		case in.Op == ir.OpLoad:
+			if !proveAccess(rng, in.Args[0], b, 1) {
+				return false
+			}
+		case in.Op == ir.OpStore:
+			if !proveAccess(rng, in.Args[1], b, 1) {
+				return false
+			}
+		case in.Op == ir.OpMemset:
+			c := rng.At(in.Args[2], b)
+			if !c.IsPoint() {
+				return false // the cell counter needs the exact length
+			}
+			var d int64
+			if d, ok = mulChk(n, c.Lo); ok {
+				fs.msetCells, ok = addChk(fs.msetCells, d)
+			}
+			if !ok {
+				return false
+			}
+			if c.Lo > 0 {
+				// One step per written cell, and the writes must be in
+				// bounds (a non-positive length writes nothing).
+				if d, ok = mulChk(n, c.Lo); ok {
+					fs.steps, ok = addChk(fs.steps, d)
+				}
+				if !ok || !proveAccess(rng, in.Args[0], b, c.Lo) {
+					return false
+				}
+			}
+		case in.Op == ir.OpCall:
+			if len(in.Args) != len(in.Callee.Params) {
+				return false // a short call leaves params unbound
+			}
+			if _, okc := sa.analyze(in.Callee, nil); !okc {
+				return false
+			}
+			fs.calls[in.Callee], ok = addChk(fs.calls[in.Callee], n)
+			if !ok {
+				return false
+			}
+		case in.Op.IsBinary() || in.Op.IsCast() || in.Op.IsTerminator() ||
+			in.Op == ir.OpICmp || in.Op == ir.OpSelect || in.Op == ir.OpPhi ||
+			in.Op == ir.OpGEP || in.Op == ir.OpPrint:
+			// Cannot trap; costs are covered by the per-instruction step.
+		default:
+			return false // unknown op: the interpreter may reject it
+		}
+	}
+	return true
+}
+
+// proveAccess shows that the n cells at p are inside p's object: the
+// pointer must chain through GEPs/bitcasts to an alloca or global root,
+// every intermediate offset must stay inside the interpreter's unsigned
+// pointer offset field (so the encoding round-trips), and the final window
+// [off, off+n-1] must lie within the root's cell count.
+func proveAccess(rng *analysis.Ranges, p ir.Value, b *ir.Block, n int64) bool {
+	var idxs []analysis.Interval
+	cells := int64(-1)
+walk:
+	for {
+		switch v := p.(type) {
+		case *ir.Global:
+			cells = int64(v.NumElems())
+			break walk
+		case *ir.Instr:
+			switch v.Op {
+			case ir.OpAlloca:
+				cells = 1
+				if v.AllocTy.Kind == ir.ArrayKind {
+					cells = int64(v.AllocTy.Len)
+				}
+				break walk
+			case ir.OpGEP:
+				idxs = append(idxs, rng.At(v.Args[1], b))
+				p = v.Args[0]
+			case ir.OpBitCast:
+				p = v.Args[0]
+			default:
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	off := analysis.Point(0)
+	for i := len(idxs) - 1; i >= 0; i-- {
+		var ok bool
+		if off, ok = addIvl(off, idxs[i]); !ok {
+			return false
+		}
+		if off.Lo < 0 || off.Hi > ptrOffField {
+			return false
+		}
+	}
+	// cells - off.Hi cannot overflow: both operands are small non-negatives.
+	return off.Lo >= 0 && n <= cells-off.Hi
+}
+
+// addIvl adds two intervals with overflow detection.
+func addIvl(a, b analysis.Interval) (analysis.Interval, bool) {
+	lo, ok1 := addChk(a.Lo, b.Lo)
+	hi, ok2 := addChk(a.Hi, b.Hi)
+	return analysis.Interval{Lo: lo, Hi: hi}, ok1 && ok2
+}
+
+// addChk and mulChk are int64 arithmetic with overflow reporting; the
+// static profiler declines rather than miscounting.
+func addChk(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+func mulChk(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	if a == math.MinInt64 || b == math.MinInt64 {
+		if a == 1 || b == 1 {
+			return math.MinInt64, true
+		}
+		return 0, false
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}

@@ -125,6 +125,23 @@ func (t *Type) Mask() uint64 {
 	return (uint64(1) << uint(t.Bits)) - 1
 }
 
+// MinVal returns the smallest value TruncVal can produce for t
+// (the most negative canonical value of the width).
+func (t *Type) MinVal() int64 {
+	if !t.IsInt() || t.Bits >= 64 {
+		return -1 << 63
+	}
+	return -(int64(1) << uint(t.Bits-1))
+}
+
+// MaxVal returns the largest value TruncVal can produce for t.
+func (t *Type) MaxVal() int64 {
+	if !t.IsInt() || t.Bits >= 64 {
+		return 1<<63 - 1
+	}
+	return int64(1)<<uint(t.Bits-1) - 1
+}
+
 // TruncVal truncates v to the width of the integer type t and sign-extends
 // the result back to 64 bits, matching two's-complement wraparound.
 func (t *Type) TruncVal(v int64) int64 {

@@ -1,6 +1,9 @@
 package passes
 
-import "autophase/internal/ir"
+import (
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
 
 // ivInfo describes an affine induction variable: phi = [init, preheader],
 // [phi + step, latch] with constant init and step.
@@ -99,12 +102,34 @@ func latchExitTest(l *ir.Loop, latch *ir.Block, ivs []ivInfo) (exitTest, bool) {
 	return exitTest{}, false
 }
 
-// tripCount simulates the rotated (do-while) loop's exit test and returns
-// the number of body executions, capped at max.
-func (et exitTest) tripCount(max int) (int64, bool) {
+// tripCountSimLimit caps the exit-test simulation fallback used when the
+// closed form does not apply. All trip-count queries share this single
+// bound (callers with tighter thresholds, e.g. the unroller, apply their
+// own on top of the returned count).
+const tripCountSimLimit = 1 << 16
+
+// tripCount returns the rotated (do-while) loop's number of body
+// executions. The count comes from the SCEV closed form in O(1) when one
+// exists; otherwise it falls back to simulating the exit test, capped at
+// tripCountSimLimit iterations.
+func (et exitTest) tripCount() (int64, bool) {
+	n, kind := analysis.ExitCount(et.iv.init, et.iv.step, et.bound, et.bits, et.pred, et.onNext, et.exitWhen)
+	switch kind {
+	case analysis.TripFinite:
+		return n, true
+	case analysis.TripInfinite:
+		return 0, false
+	}
+	return et.simTripCount(tripCountSimLimit)
+}
+
+// simTripCount simulates the exit test for up to max body executions — the
+// pre-SCEV implementation, kept as the fallback and as the differential
+// oracle for the closed form.
+func (et exitTest) simTripCount(max int64) (int64, bool) {
 	ty := ir.IntType(et.bits)
 	cur := ty.TruncVal(et.iv.init)
-	for n := int64(1); n <= int64(max); n++ {
+	for n := int64(1); n <= max; n++ {
 		next := ir.EvalBinary(ir.OpAdd, ty, cur, et.iv.step)
 		x := cur
 		if et.onNext {
@@ -381,7 +406,7 @@ func loopDeletion(f *ir.Func) bool {
 			if !ok {
 				continue
 			}
-			if _, ok := et.tripCount(1 << 20); !ok {
+			if _, ok := et.tripCount(); !ok {
 				continue
 			}
 			// Retarget the preheader straight to the exit. Exit phis that
@@ -429,7 +454,7 @@ func indvars(f *ir.Func) bool {
 		if !ok {
 			continue
 		}
-		n, ok := et.tripCount(1 << 16)
+		n, ok := et.tripCount()
 		if !ok {
 			continue
 		}
@@ -501,7 +526,7 @@ func idiomOne(f *ir.Func, l *ir.Loop) bool {
 	if !ok || !et.iv.affine || et.iv.step != 1 {
 		return false
 	}
-	n, ok := et.tripCount(1 << 16)
+	n, ok := et.tripCount()
 	if !ok {
 		return false
 	}

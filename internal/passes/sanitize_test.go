@@ -66,7 +66,7 @@ func (buggyCFG) Run(m *ir.Module) bool {
 // spyPass records whether it ran.
 type spyPass struct{ runs *int }
 
-func (spyPass) Name() string      { return "-spy" }
+func (spyPass) Name() string          { return "-spy" }
 func (s spyPass) Run(*ir.Module) bool { (*s.runs)++; return false }
 
 // TestManagerVerifyEachHalts is the regression test for the VerifyEach fix:

@@ -1,0 +1,62 @@
+package passes
+
+import (
+	"testing"
+
+	"autophase/internal/progen"
+)
+
+// TestTripCountMatchesSimulation feeds every exit test recognizable in the
+// bundled benchmarks — under several pass preludes that put loops into
+// rotated form — through both the SCEV closed form (tripCount) and the old
+// bounded simulation (simTripCount) and requires identical answers. This is
+// the fixture-level guarantee that switching the loop passes to SCEV
+// changed their cost, not their behaviour.
+func TestTripCountMatchesSimulation(t *testing.T) {
+	preludes := map[string][]int{
+		"raw":           nil,
+		"mem2reg":       {38},
+		"rotated":       {38, 29, 23},
+		"canonicalized": {38, 31, 30, 29, 23, 30},
+	}
+	checked := 0
+	for _, name := range progen.BenchmarkNames {
+		for pname, seq := range preludes {
+			m := progen.Benchmark(name)
+			Apply(m, seq)
+			for _, f := range m.Funcs {
+				for _, l := range loopsOf(f) {
+					ph := l.Preheader()
+					latch := l.SingleLatch()
+					if ph == nil || latch == nil {
+						continue
+					}
+					if ex := l.ExitingBlocks(); len(ex) != 1 || ex[0] != latch {
+						continue
+					}
+					et, ok := latchExitTest(l, latch, analyzeIVs(l, ph, latch))
+					if !ok {
+						continue
+					}
+					checked++
+					sn, sok := et.tripCount()
+					rn, rok := et.simTripCount(1 << 20)
+					// The closed form may legitimately exceed the old
+					// simulation cap; within the cap both must agree exactly.
+					if sok && sn <= 1<<20 {
+						if !rok || rn != sn {
+							t.Errorf("%s/%s %s: SCEV trip count %d, simulation (%d, %v)",
+								name, pname, f.Name, sn, rn, rok)
+						}
+					} else if !sok && rok {
+						t.Errorf("%s/%s %s: SCEV found no trip count, simulation found %d",
+							name, pname, f.Name, rn)
+					}
+				}
+			}
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d exit tests exercised; fixtures no longer produce rotated counted loops", checked)
+	}
+}

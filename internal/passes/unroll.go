@@ -41,8 +41,8 @@ func unrollOne(f *ir.Func, l *ir.Loop) bool {
 	if !ok {
 		return false
 	}
-	n64, ok := et.tripCount(maxUnrollTrips)
-	if !ok {
+	n64, ok := et.tripCount()
+	if !ok || n64 > maxUnrollTrips {
 		return false
 	}
 	n := int(n64)
