@@ -13,15 +13,22 @@
 //	autophase -list                                # available programs/algos
 //	autophase lint -program file:prog.ir           # static analysis + diagnostics
 //	autophase -program sha -sanitize               # optimize with the pass sanitizer
+//	autophase -program aes -algo genetic -workers 8  # parallel candidate scoring
+//	autophase collect -program gsm -episodes 32    # exploration tuples + win rates
 //
 // Algorithms: ppo (histogram obs), ppo-multi (§5.2), a3c, es, greedy,
-// genetic, opentuner, random, o3, o0.
+// genetic, opentuner, random, o3, o0. The population-style algorithms
+// (es, a3c, genetic, opentuner, random) and the collect subcommand score
+// candidates through a -workers wide evaluation pool; results are
+// identical at any worker count (OpenTuner batches its bandit rounds, so
+// its trajectory depends on -workers, deterministically).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -44,6 +51,10 @@ func main() {
 		runLint(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "collect" {
+		runCollect(os.Args[2:])
+		return
+	}
 	prog := flag.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
 	algo := flag.String("algo", "ppo", "ppo, ppo-multi, a3c, es, greedy, genetic, opentuner, random, o3, o0")
 	budget := flag.Int("budget", 800, "sample/step budget for the chosen algorithm")
@@ -60,6 +71,7 @@ func main() {
 	verbose := flag.Bool("verbose", false, "print per-pass statistics for the final sequence")
 	sanitize := flag.Bool("sanitize", false, "run the pass sanitizer during optimization; on miscompilation print the minimized repro and exit 1")
 	list := flag.Bool("list", false, "list available programs, algorithms and passes")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel candidate evaluations (results identical at any count)")
 	flag.Parse()
 
 	if *list {
@@ -126,12 +138,14 @@ func main() {
 		seq = passes.O3Sequence
 		report(p, seq, p.O3Cycles)
 	default:
-		seq = optimize(p, *algo, *budget, *seqLen, *objective)
+		ev := core.NewEvaluator(p, *workers)
+		seq = optimize(p, ev, *algo, *budget, *seqLen, *objective)
 		best, bestSeq := p.BestCycles()
 		if bestSeq != nil {
 			seq = bestSeq
 		}
 		report(p, seq, best)
+		fmt.Println("evaluator:", ev.Stats())
 	}
 
 	if rep := p.SanitizerReport(); rep != nil {
@@ -268,6 +282,49 @@ func runLint(args []string) {
 	fmt.Printf("lint: ok (%d warnings)\n", len(diags.Warnings()))
 }
 
+// runCollect is the `autophase collect` subcommand: run high-exploration
+// random episodes through the parallel tuple collector (§4's data-gathering
+// phase) and print the per-pass win rates plus the evaluation-engine stats.
+func runCollect(args []string) {
+	fs := flag.NewFlagSet("collect", flag.ExitOnError)
+	prog := fs.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
+	episodes := fs.Int("episodes", 16, "random-exploration episodes")
+	epLen := fs.Int("len", 14, "passes per episode")
+	seed := fs.Int64("seed", 1, "exploration RNG seed")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel episode workers (tuples identical at any count)")
+	fs.Parse(args)
+
+	m, err := loadProgram(*prog)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.NewProgram(*prog, m)
+	if err != nil {
+		fatal(err)
+	}
+	tuples := core.CollectTuplesParallel([]*core.Program{p}, *episodes, *epLen,
+		rand.New(rand.NewSource(*seed)), *workers)
+	seen := make([]int, passes.NumActions)
+	wins := make([]int, passes.NumActions)
+	for _, t := range tuples {
+		seen[t.Action]++
+		if t.Improved {
+			wins[t.Action]++
+		}
+	}
+	fmt.Printf("collected %d tuples from %d episodes (len %d) on %s\n",
+		len(tuples), *episodes, *epLen, *prog)
+	fmt.Println("pass win rates (fraction of applications that reduced cycles):")
+	for a := 0; a < passes.NumActions; a++ {
+		if seen[a] == 0 {
+			continue
+		}
+		fmt.Printf("  %-28s %3d/%3d  %.2f\n", passes.Table1Names[a], wins[a], seen[a],
+			float64(wins[a])/float64(seen[a]))
+	}
+	fmt.Println("evaluator:", p.EvalStats())
+}
+
 func parsePasses(s string) ([]int, error) {
 	var seq []int
 	for _, name := range strings.Split(s, ",") {
@@ -294,7 +351,7 @@ func parsePasses(s string) ([]int, error) {
 	return seq, nil
 }
 
-func optimize(p *core.Program, algo string, budget, seqLen int, objective string) []int {
+func optimize(p *core.Program, ev *core.Evaluator, algo string, budget, seqLen int, objective string) []int {
 	cfgEnv := core.DefaultEnv()
 	cfgEnv.EpisodeLen = seqLen
 	switch objective {
@@ -303,15 +360,11 @@ func optimize(p *core.Program, algo string, budget, seqLen int, objective string
 	case "areadelay":
 		cfgEnv.Objective = core.MinimizeAreaDelay
 	}
-	obj := &search.Objective{K: passes.NumActions, N: seqLen,
-		Eval: func(seq []int) (int64, bool) {
-			c, _, ok := p.Compile(seq)
-			return c, ok
-		}}
+	obj := ev.Objective(seqLen)
 	switch algo {
 	case "ppo":
 		cfgEnv.Obs = core.ObsHistogram
-		env := core.NewPhaseEnv(p, cfgEnv)
+		var env core.Env = core.NewPhaseEnv(p, cfgEnv)
 		cfg := rl.DefaultPPO()
 		cfg.RolloutSteps = 128
 		agent := rl.NewPPO(cfg, env.ObsSize(), env.ActionDims())
@@ -319,7 +372,7 @@ func optimize(p *core.Program, algo string, budget, seqLen int, objective string
 		return env.Sequence()
 	case "ppo-multi":
 		cfgEnv.Obs = core.ObsBoth
-		env := core.NewMultiPhaseEnv(p, cfgEnv, seqLen, seqLen)
+		var env core.Env = core.NewMultiPhaseEnv(p, cfgEnv, seqLen, seqLen)
 		cfg := rl.DefaultPPO()
 		cfg.RolloutSteps = 128
 		agent := rl.NewPPO(cfg, env.ObsSize(), env.ActionDims())
@@ -329,15 +382,24 @@ func optimize(p *core.Program, algo string, budget, seqLen int, objective string
 		cfgEnv.Obs = core.ObsFeatures
 		proto := core.NewPhaseEnv(p, cfgEnv)
 		cfg := rl.DefaultA3C()
+		cfg.Workers = ev.Workers()
 		agent := rl.NewA3C(cfg, proto.ObsSize(), proto.ActionDims())
 		agent.Train(func(int) rl.Env { return core.NewPhaseEnv(p, cfgEnv) }, budget, nil)
 		return nil
 	case "es":
 		cfgEnv.Obs = core.ObsFeatures
-		env := core.NewPhaseEnv(p, cfgEnv)
-		agent := rl.NewES(rl.DefaultES(), env.ObsSize(), env.ActionDims())
-		agent.Train([]rl.Env{env}, budget, nil)
-		return env.Sequence()
+		cfg := rl.DefaultES()
+		cfg.Workers = ev.Workers()
+		// One environment per worker: candidate i runs on env i%w, so the
+		// perturbation order (and hence the result) is worker-invariant.
+		first := core.NewPhaseEnv(p, cfgEnv)
+		envs := []rl.Env{first}
+		for i := 1; i < ev.Workers(); i++ {
+			envs = append(envs, core.NewPhaseEnv(p, cfgEnv))
+		}
+		agent := rl.NewES(cfg, first.ObsSize(), first.ActionDims())
+		agent.Train(envs, budget, nil)
+		return first.Sequence()
 	case "greedy":
 		return search.Greedy(obj, budget).Seq
 	case "genetic":
@@ -399,7 +461,7 @@ func trainGeneralizer(n, steps int, path string) {
 	}
 	pcfg := rl.DefaultPPO()
 	pcfg.Hidden = []int{128, 128}
-	agent := rl.NewPPO(pcfg, envs[0].(*core.PhaseEnv).ObsSize(), envs[0].ActionDims())
+	agent := rl.NewPPO(pcfg, envs[0].ObsSize(), envs[0].ActionDims())
 	agent.Train(envs, steps, func(st rl.Stats) {
 		fmt.Printf("  steps=%6d episodes=%4d reward-mean=%.1f\n",
 			st.TotalSteps, st.TotalEpisodes, st.EpisodeRewardMean)

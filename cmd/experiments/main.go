@@ -5,6 +5,7 @@
 //	experiments -exp fig7 [-scale quick|full]
 //	experiments -exp fig5 | fig6 | fig8 | fig9 | table3 | randomgen | all
 //	experiments -exp fig5 -csv        # machine-readable heat map
+//	experiments -exp fig7 -workers 8  # parallel candidate evaluation
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the paper-vs-measured comparison.
@@ -23,11 +24,15 @@ func main() {
 	exp := flag.String("exp", "all", "experiment: fig5, fig6, fig7, fig8, fig9, table3, randomgen, all")
 	scale := flag.String("scale", "quick", "budget scale: quick or full")
 	csv := flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
+	workers := flag.Int("workers", 0, "evaluation parallelism (0 = the scale's default: quick pins 1, full uses all CPUs)")
 	flag.Parse()
 
 	sc := experiments.Quick()
 	if *scale == "full" {
 		sc = experiments.Full()
+	}
+	if *workers > 0 {
+		sc.Workers = *workers
 	}
 	if err := run(*exp, sc, *csv); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"autophase/internal/features"
 	"autophase/internal/hls"
@@ -17,9 +18,23 @@ import (
 	"autophase/internal/passes"
 )
 
+// cacheShards is the number of key-hashed shards the compile/feature cache
+// is split into. 32 comfortably exceeds GOMAXPROCS on the machines this
+// runs on, so two workers rarely contend on the same shard lock, while the
+// per-shard map overhead stays negligible next to one compiled module.
+const cacheShards = 32
+
 // Program wraps one input program with compilation caching: the paper
 // counts "samples" as clock-cycle profiler invocations, so repeated
 // evaluations of the same pass sequence are memoized and free.
+//
+// Program is safe for concurrent use. The memoized compile and feature
+// results live in key-hashed shards, each guarded by its own RWMutex so
+// cache hits (the common case inside an episode) only take a read lock,
+// and misses on different sequences compile in parallel. Concurrent misses
+// on the *same* sequence are deduplicated singleflight-style: one goroutine
+// compiles, the rest wait on its result and are counted as merges — the
+// duplicated work is accounted for, not repeated.
 type Program struct {
 	Name string
 	orig *ir.Module
@@ -27,25 +42,58 @@ type Program struct {
 	O0Cycles int64 // cycles with no optimization
 	O3Cycles int64 // cycles after the -O3 reference pipeline
 
-	hlsCfg     hls.Config
-	lim        interp.Limits
-	mu         sync.Mutex // guards the fields below (A3C workers share one Program)
-	cache      map[string]compileResult
-	featCache  map[string][]int64
-	irCache    map[string]*ir.Module // optimized IR per sequence prefix
-	irOrder    []string              // irCache keys in insertion order (eviction)
-	samples    int
-	staticHits int   // profiles answered by the SCEV static estimator
-	best       int64 // best cycle count seen since the last reset
-	bestSeq    []int
+	hlsCfg hls.Config
+
+	// cfgMu guards the compile configuration (interpreter limits, sanitizer
+	// mode) against whole-cache operations: compiles hold it for read, so
+	// SetLimits/ResetSamples/EnableSanitizer observe no in-flight compile
+	// using the old configuration.
+	cfgMu    sync.RWMutex
+	lim      interp.Limits
+	sanitize bool
+
+	shards [cacheShards]cacheShard
+
+	irMu    sync.Mutex
+	irCache map[string]*ir.Module // optimized IR per sequence prefix
+	irOrder []string              // irCache keys in insertion order (eviction)
+
+	// The atomic stats block (EvalStats is its snapshot): samples is the
+	// paper's accounting unit, the rest are the evaluation engine's
+	// observability surface.
+	samples    atomic.Int64
+	compiles   atomic.Int64 // physical compile+profile executions
+	cacheHits  atomic.Int64
+	merges     atomic.Int64 // singleflight-deduplicated concurrent compiles
+	staticHits atomic.Int64 // profiles answered by the SCEV static estimator
+
+	bestMu  sync.Mutex
+	best    int64 // best cycle count seen since the last reset
+	bestSeq []int
 
 	// Sanitizer mode (EnableSanitizer): every compile runs the pass
 	// sanitizer; a failing sequence is marked bad (Compile returns !ok, so
 	// the environment ends the episode with a penalty instead of learning
 	// from a corrupted reward) and the first report is retained.
-	sanitize  bool
+	sanMu     sync.Mutex
 	sanBad    map[string]bool
 	sanReport *passes.SanitizerReport
+}
+
+type cacheShard struct {
+	mu       sync.RWMutex
+	cache    map[string]compileResult
+	feats    map[string][]int64
+	inflight map[string]*inflight
+	hits     atomic.Int64
+}
+
+// inflight is one in-progress compilation. Waiters block on done; the
+// channel close publishes res and cached to them.
+type inflight struct {
+	done   chan struct{}
+	res    compileResult
+	cached bool
 }
 
 // irCacheCap bounds the per-program optimized-IR cache; episodes extend
@@ -69,8 +117,10 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 		orig:    m.Clone(),
 		hlsCfg:  hls.DefaultConfig,
 		lim:     interp.DefaultLimits,
-		cache:   make(map[string]compileResult),
 		irCache: make(map[string]*ir.Module),
+	}
+	for i := range p.shards {
+		p.shards[i].cache = make(map[string]compileResult)
 	}
 	r0, err := p.profile(p.orig)
 	if err != nil {
@@ -89,7 +139,7 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 
 // profile estimates m's cycle count, preferring the SCEV static fast path
 // over an interpreter run. Under the sanitizer both paths run and must
-// agree exactly. Callers hold p.mu (or own p exclusively).
+// agree exactly. Callers hold cfgMu for read (or own p exclusively).
 func (p *Program) profile(m *ir.Module) (*hls.Report, error) {
 	var rep *hls.Report
 	var err error
@@ -99,7 +149,7 @@ func (p *Program) profile(m *ir.Module) (*hls.Report, error) {
 		rep, err = hls.ProfileFast(m, p.hlsCfg, p.lim)
 	}
 	if err == nil && rep.Static {
-		p.staticHits++
+		p.staticHits.Add(1)
 	}
 	return rep, err
 }
@@ -113,19 +163,21 @@ func (p *Program) Module() *ir.Module { return p.orig.Clone() }
 // as failed (ok=false) instead of feeding a bogus cycle count into the
 // reward. The first failure's delta-minimized report is kept.
 func (p *Program) EnableSanitizer() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
 	p.sanitize = true
+	p.sanMu.Lock()
 	if p.sanBad == nil {
 		p.sanBad = make(map[string]bool)
 	}
+	p.sanMu.Unlock()
 }
 
 // SanitizerReport returns the report of the first miscompiling sequence a
 // sanitized Compile observed, or nil when none failed.
 func (p *Program) SanitizerReport() *passes.SanitizerReport {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.sanMu.Lock()
+	defer p.sanMu.Unlock()
 	return p.sanReport
 }
 
@@ -140,56 +192,155 @@ func seqKey(seq []int) string {
 	return string(b)
 }
 
+// shardIndex hashes a sequence key onto a cache shard (FNV-1a).
+func shardIndex(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % cacheShards)
+}
+
 // Compile applies the pass sequence to a clone of the program, extracts
 // features and profiles the estimated cycle count. Results are memoized;
 // each cache miss counts as one profiler sample.
 func (p *Program) Compile(seq []int) (cycles int64, feats []int64, ok bool) {
-	key := seqKey(seq)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if r, hit := p.cache[key]; hit {
-		return r.cycles, r.feats, r.ok
-	}
-	m := p.buildIR(seq, key)
-	p.samples++
-	var res compileResult
-	if p.sanitize && p.sanBad[key] {
-		// The sanitizer flagged this sequence: fail the compile loudly
-		// rather than profiling a miscompiled module.
-		p.cache[key] = res
-		return 0, nil, false
-	}
-	if rep, err := p.profile(m); err == nil {
-		res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
-			feats: features.Extract(m), ok: true}
-		if p.best == 0 || rep.Cycles < p.best {
-			p.best = rep.Cycles
-			p.bestSeq = append([]int(nil), seq...)
-		}
-		p.cache[key] = res
-	}
-	// Failed profiles (limit overruns, traps) are deliberately not cached:
-	// a limit error depends on the configured interp.Limits and must be
-	// re-evaluated — and re-counted as a sample — on every query.
-	return res.cycles, res.feats, res.ok
+	r := p.compile(seq)
+	return r.cycles, r.feats, r.ok
 }
 
 // CompileArea is Compile's area-objective variant: it returns the
 // functional-unit area estimate (LUTs) alongside the cycle count, for the
 // §5.1 alternative rewards (area, or multi-objective combinations).
 func (p *Program) CompileArea(seq []int) (cycles, area int64, ok bool) {
-	c, _, okc := p.Compile(seq)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	r := p.cache[seqKey(seq)]
-	return c, r.area, okc
+	r := p.compile(seq)
+	return r.cycles, r.area, r.ok
+}
+
+// compile is the shared memoized entry point: shard read-lock fast path,
+// then singleflight on a miss.
+func (p *Program) compile(seq []int) compileResult {
+	key := seqKey(seq)
+	sh := &p.shards[shardIndex(key)]
+	sh.mu.RLock()
+	r, hit := sh.cache[key]
+	sh.mu.RUnlock()
+	if hit {
+		p.cacheHits.Add(1)
+		sh.hits.Add(1)
+		return r
+	}
+
+	sh.mu.Lock()
+	if r, hit := sh.cache[key]; hit {
+		sh.mu.Unlock()
+		p.cacheHits.Add(1)
+		sh.hits.Add(1)
+		return r
+	}
+	if fl, busy := sh.inflight[key]; busy {
+		sh.mu.Unlock()
+		<-fl.done
+		p.merges.Add(1)
+		if !fl.cached {
+			// Sequential behaviour re-counts an uncached (failed) compile as
+			// a fresh sample on every query; a merged waiter counts the same
+			// way so sample totals are identical at any worker count.
+			p.samples.Add(1)
+		}
+		return fl.res
+	}
+	fl := &inflight{done: make(chan struct{})}
+	if sh.inflight == nil {
+		sh.inflight = make(map[string]*inflight)
+	}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+
+	res, cacheable := p.compileMiss(seq, key)
+
+	sh.mu.Lock()
+	if cacheable {
+		sh.cache[key] = res
+	}
+	delete(sh.inflight, key)
+	sh.mu.Unlock()
+	fl.res, fl.cached = res, cacheable
+	close(fl.done)
+	return res
+}
+
+// compileMiss does the uncached work — build the optimized IR, profile it —
+// outside any shard lock, so misses on different sequences run in parallel.
+func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheable bool) {
+	p.cfgMu.RLock()
+	defer p.cfgMu.RUnlock()
+	p.samples.Add(1)
+	p.compiles.Add(1)
+	m := p.buildIR(seq, key, p.sanitize)
+	if p.sanitize && p.flaggedBad(key) {
+		// The sanitizer flagged this sequence: fail the compile loudly
+		// rather than profiling a miscompiled module.
+		return compileResult{}, true
+	}
+	rep, err := p.profile(m)
+	if err != nil {
+		// Failed profiles (limit overruns, traps) are deliberately not
+		// cached: a limit error depends on the configured interp.Limits and
+		// must be re-evaluated — and re-counted as a sample — on every query.
+		return compileResult{}, false
+	}
+	res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
+		feats: features.Extract(m), ok: true}
+	p.recordBest(rep.Cycles, seq)
+	return res, true
+}
+
+// recordBest updates the incumbent. Ties on the cycle count break towards
+// the shorter, then lexicographically smaller sequence, so the incumbent is
+// a function of the *set* of evaluated sequences rather than of evaluation
+// order — the determinism contract batch evaluation relies on.
+func (p *Program) recordBest(cycles int64, seq []int) {
+	p.bestMu.Lock()
+	defer p.bestMu.Unlock()
+	switch {
+	case p.best == 0 || cycles < p.best:
+	case cycles == p.best && lessSeq(seq, p.bestSeq):
+	default:
+		return
+	}
+	p.best = cycles
+	p.bestSeq = append([]int(nil), seq...)
+}
+
+// lessSeq orders sequences by length, then lexicographically.
+func lessSeq(a, b []int) bool {
+	if len(a) != len(b) {
+		return len(a) < len(b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+func (p *Program) flaggedBad(key string) bool {
+	p.sanMu.Lock()
+	defer p.sanMu.Unlock()
+	return p.sanBad[key]
 }
 
 // buildIR produces the optimized module for seq, reusing the longest cached
-// prefix so that sequence extensions apply only the new suffix. Callers
-// hold p.mu. The returned module is cached and must not be mutated.
-func (p *Program) buildIR(seq []int, key string) *ir.Module {
+// prefix so that sequence extensions apply only the new suffix. Cached
+// modules are immutable once published, so the clone-and-apply work runs
+// outside the cache lock. Callers hold cfgMu for read and pass the
+// sanitize flag down to avoid re-acquiring it.
+func (p *Program) buildIR(seq []int, key string, sanitize bool) *ir.Module {
+	p.irMu.Lock()
 	if m, ok := p.irCache[key]; ok {
+		p.irMu.Unlock()
 		return m
 	}
 	// Longest cached prefix (the empty prefix is the original program).
@@ -201,16 +352,20 @@ func (p *Program) buildIR(seq []int, key string) *ir.Module {
 			break
 		}
 	}
+	p.irMu.Unlock()
+
 	m := base.Clone()
-	if p.sanitize {
+	if sanitize {
 		pm := passes.NewManager()
 		pm.Sanitize = true
 		pm.Apply(m, seq[start:])
 		if rep := pm.SanitizerReport(); rep != nil {
+			p.sanMu.Lock()
 			p.sanBad[key] = true
 			if p.sanReport == nil {
 				p.sanReport = rep
 			}
+			p.sanMu.Unlock()
 			// Do not cache the corrupted module: extensions of this
 			// sequence must re-derive (and re-flag) from a clean prefix.
 			return m
@@ -218,7 +373,9 @@ func (p *Program) buildIR(seq []int, key string) *ir.Module {
 	} else {
 		passes.Apply(m, seq[start:])
 	}
+	p.irMu.Lock()
 	p.irCachePut(key, m)
+	p.irMu.Unlock()
 	return m
 }
 
@@ -226,6 +383,7 @@ func (p *Program) buildIR(seq []int, key string) *ir.Module {
 // entries first but never a strict prefix of key: episodes extend one
 // sequence a pass at a time, and evicting the active episode's own prefix
 // chain would force every subsequent step to recompile from scratch.
+// Callers hold irMu.
 func (p *Program) irCachePut(key string, m *ir.Module) {
 	if _, ok := p.irCache[key]; !ok {
 		for len(p.irCache) >= irCacheCap {
@@ -254,8 +412,8 @@ func (p *Program) irCachePut(key string, m *ir.Module) {
 // any Compile since the last ResetSamples — how the evaluation scores each
 // algorithm's run on a program.
 func (p *Program) BestCycles() (int64, []int) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.bestMu.Lock()
+	defer p.bestMu.Unlock()
 	if p.best == 0 {
 		return p.O0Cycles, nil
 	}
@@ -263,45 +421,51 @@ func (p *Program) BestCycles() (int64, []int) {
 }
 
 // Samples reports the number of profiler invocations (cache misses).
-func (p *Program) Samples() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.samples
-}
+func (p *Program) Samples() int { return int(p.samples.Load()) }
 
 // ResetSamples zeroes the sample counter (e.g. between search runs), and
 // optionally drops the memoization cache so every algorithm pays full cost.
 func (p *Program) ResetSamples(dropCache bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.samples = 0
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	p.samples.Store(0)
+	p.bestMu.Lock()
 	p.best = 0
 	p.bestSeq = nil
+	p.bestMu.Unlock()
 	if dropCache {
-		p.cache = make(map[string]compileResult)
-		p.featCache = nil
+		for i := range p.shards {
+			sh := &p.shards[i]
+			sh.mu.Lock()
+			sh.cache = make(map[string]compileResult)
+			sh.feats = nil
+			sh.mu.Unlock()
+		}
+		p.irMu.Lock()
 		p.irCache = make(map[string]*ir.Module)
 		p.irOrder = nil
+		p.irMu.Unlock()
 	}
 }
 
 // StaticProfiles reports how many profiler invocations were answered by the
 // SCEV-based static estimator instead of an interpreter run (baselines
 // included).
-func (p *Program) StaticProfiles() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.staticHits
-}
+func (p *Program) StaticProfiles() int { return int(p.staticHits.Load()) }
 
 // SetLimits replaces the interpreter limits used by subsequent profiles and
 // drops the memoized compile results, whose success verdicts depend on the
-// limits. The optimized-IR cache is kept: IR does not.
+// limits. The optimized-IR and feature caches are kept: IR does not.
 func (p *Program) SetLimits(lim interp.Limits) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
 	p.lim = lim
-	p.cache = make(map[string]compileResult)
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		sh.cache = make(map[string]compileResult)
+		sh.mu.Unlock()
+	}
 }
 
 // SpeedupOverO3 converts a cycle count into the paper's headline metric:
@@ -372,6 +536,12 @@ type EnvConfig struct {
 	// Program.SanitizerReport. Training gets slower but cannot silently
 	// learn from a broken reward oracle.
 	Sanitize bool
+	// NoProfile puts the environment in inference mode: steps extend the
+	// sequence and observe features through the profiler-free FeaturesAfter
+	// path, but the clock-cycle profiler never runs, rewards are zero and
+	// no samples are consumed. InferGreedy uses it to reach the paper's
+	// 1 sample per program (Figure 9).
+	NoProfile bool
 }
 
 // DefaultEnv matches the per-program evaluation setting of §6.1.
@@ -451,19 +621,26 @@ func (c EnvConfig) reward(prev, cur, base int64) float64 {
 // paper's deep-RL inference reaches 1 sample per program (Figure 9).
 func (p *Program) FeaturesAfter(seq []int) []int64 {
 	key := seqKey(seq)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if r, hit := p.cache[key]; hit && r.ok {
+	sh := &p.shards[shardIndex(key)]
+	sh.mu.RLock()
+	if r, hit := sh.cache[key]; hit && r.ok {
+		sh.mu.RUnlock()
 		return r.feats
 	}
-	if f, hit := p.featCache[key]; hit {
+	f, hit := sh.feats[key]
+	sh.mu.RUnlock()
+	if hit {
 		return f
 	}
-	m := p.buildIR(seq, key)
-	f := features.Extract(m)
-	if p.featCache == nil {
-		p.featCache = make(map[string][]int64)
+	p.cfgMu.RLock()
+	m := p.buildIR(seq, key, p.sanitize)
+	p.cfgMu.RUnlock()
+	f = features.Extract(m)
+	sh.mu.Lock()
+	if sh.feats == nil {
+		sh.feats = make(map[string][]int64)
 	}
-	p.featCache[key] = f
+	sh.feats[key] = f
+	sh.mu.Unlock()
 	return f
 }

@@ -2,6 +2,26 @@ package core
 
 import "autophase/internal/passes"
 
+// Env is the common surface of the phase-ordering environments: the
+// gym-style subset (Reset/Step/ObsSize/ActionDims) the rl trainers consume,
+// plus the episode read-backs (Sequence/BestCycles) the drivers use to
+// score a rollout. Both the §5.1 single-action and the §5.2 multi-action
+// formulations implement it, so drivers and trainers never need the
+// concrete types.
+type Env interface {
+	Reset() []float64
+	Step(actions []int) (obs []float64, reward float64, done bool)
+	ObsSize() int
+	ActionDims() []int
+	Sequence() []int
+	BestCycles() int64
+}
+
+var (
+	_ Env = (*PhaseEnv)(nil)
+	_ Env = (*MultiPhaseEnv)(nil)
+)
+
 // PhaseEnv is the single-action phase-ordering environment of §5.1: each
 // step applies one more pass to the current sequence, the observation is
 // the program-feature vector and/or the applied-pass histogram, and the
@@ -57,18 +77,19 @@ func (e *PhaseEnv) observe(rawFeats []int64) []float64 {
 
 // cost evaluates the configured objective for the sequence.
 func (e *PhaseEnv) cost(seq []int) (int64, []int64, bool) {
+	if e.Cfg.NoProfile {
+		// Inference mode: observation only, no profiler sample, no reward.
+		return 0, e.Program.FeaturesAfter(seq), true
+	}
+	r := e.Program.compile(seq)
 	switch e.Cfg.Objective {
 	case MinimizeArea:
-		_, area, ok := e.Program.CompileArea(seq)
-		_, feats, _ := e.Program.Compile(seq)
-		return area, feats, ok
+		return r.area, r.feats, r.ok
 	case MinimizeAreaDelay:
-		cycles, area, ok := e.Program.CompileArea(seq)
-		_, feats, _ := e.Program.Compile(seq)
 		// Scaled area-delay product keeps rewards in a trainable range.
-		return cycles * area / 1024, feats, ok
+		return r.cycles * r.area / 1024, r.feats, r.ok
 	default:
-		return e.Program.Compile(seq)
+		return r.cycles, r.feats, r.ok
 	}
 }
 
@@ -239,35 +260,25 @@ func (e *MultiPhaseEnv) BestCycles() int64 { return e.best }
 func (e *MultiPhaseEnv) Sequence() []int { return e.sequence() }
 
 // InferGreedy runs one inference rollout: the policy picks passes from
-// observations built with the feature extractor only, and the resulting
-// sequence is profiled once at the end — one profiler sample, as the paper
-// counts deep-RL inference.
+// observations served by a NoProfile environment (feature extraction only),
+// and the resulting sequence is profiled once at the end — one profiler
+// sample, as the paper counts deep-RL inference.
 func InferGreedy(p *Program, cfg EnvConfig, policy func(obs []float64) int) (seq []int, cycles int64, ok bool) {
+	cfg.NoProfile = true
 	acts := cfg.actions()
-	hist := make([]int, len(acts))
-	feats := p.FeaturesAfter(nil)
-	for len(seq) < cfg.EpisodeLen {
-		var obs []float64
-		if cfg.Obs == ObsHistogram || cfg.Obs == ObsBoth {
-			for _, h := range hist {
-				obs = append(obs, float64(h))
-			}
-		}
-		if cfg.Obs == ObsFeatures || cfg.Obs == ObsBoth {
-			obs = append(obs, cfg.normalizeFeatures(feats)...)
-		}
+	var env Env = NewPhaseEnv(p, cfg)
+	obs := env.Reset()
+	done := cfg.EpisodeLen <= 0
+	for !done {
 		a := policy(obs)
-		if a < 0 || a >= len(acts) {
+		// Out-of-range and explicit-terminate actions end the rollout
+		// before stepping (Step would clamp them into the sequence).
+		if a < 0 || a >= len(acts) || acts[a] == passes.TerminateIndex {
 			break
 		}
-		pass := acts[a]
-		if pass == passes.TerminateIndex {
-			break
-		}
-		seq = append(seq, pass)
-		hist[a]++
-		feats = p.FeaturesAfter(seq)
+		obs, _, done = env.Step([]int{a})
 	}
+	seq = env.Sequence()
 	cycles, _, ok = p.Compile(seq)
 	return seq, cycles, ok
 }

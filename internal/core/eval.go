@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autophase/internal/passes"
+	"autophase/internal/search"
+)
+
+// Evaluator is the concurrent batch-evaluation engine: a fixed-size worker
+// pool scoring candidate pass sequences against one Program through its
+// sharded compile cache. Results come back in submission order, so callers
+// that generate candidates deterministically get bit-identical outcomes at
+// Workers=1 and Workers=N; the only nondeterminism under concurrency is
+// *which* duplicate compile wins the singleflight race, and that is
+// invisible in the results.
+type Evaluator struct {
+	p       *Program
+	workers int
+	batches atomic.Int64
+	wallNS  atomic.Int64
+}
+
+// NewEvaluator wraps p with a worker pool of the given width (minimum 1).
+func NewEvaluator(p *Program, workers int) *Evaluator {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Evaluator{p: p, workers: workers}
+}
+
+// Program returns the underlying program.
+func (e *Evaluator) Program() *Program { return e.p }
+
+// Workers returns the pool width.
+func (e *Evaluator) Workers() int { return e.workers }
+
+// EvalResult is one scored sequence.
+type EvalResult struct {
+	Seq    []int
+	Cycles int64
+	Area   int64
+	Feats  []int64
+	Ok     bool
+}
+
+// EvalBatch scores every sequence and returns results in submission order.
+// Work is spread over min(Workers, len(seqs)) goroutines pulling from a
+// shared index, so a slow compile never stalls the rest of the batch.
+func (e *Evaluator) EvalBatch(seqs [][]int) []EvalResult {
+	start := time.Now()
+	out := make([]EvalResult, len(seqs))
+	runIndexed(len(seqs), e.workers, func(i int) {
+		r := e.p.compile(seqs[i])
+		out[i] = EvalResult{Seq: seqs[i], Cycles: r.cycles, Area: r.area,
+			Feats: r.feats, Ok: r.ok}
+	})
+	e.batches.Add(1)
+	e.wallNS.Add(time.Since(start).Nanoseconds())
+	return out
+}
+
+// Objective adapts the Evaluator to the search package's batch interface:
+// candidates are scored EvalBatch-wide, and Batch tells sequential
+// algorithms (OpenTuner's bandit rounds) how many proposals to score per
+// round. n is the candidate sequence length.
+func (e *Evaluator) Objective(n int) *search.Objective {
+	return &search.Objective{
+		K:     passes.NumActions,
+		N:     n,
+		Batch: e.workers,
+		EvalBatch: func(seqs [][]int) []search.EvalOutcome {
+			rs := e.EvalBatch(seqs)
+			outs := make([]search.EvalOutcome, len(rs))
+			for i, r := range rs {
+				outs[i] = search.EvalOutcome{Val: r.Cycles, Ok: r.Ok}
+			}
+			return outs
+		},
+	}
+}
+
+// EvalStats is a snapshot of the evaluation engine's counters. All fields
+// are monotone over a Program's lifetime except Samples, which ResetSamples
+// zeroes between runs.
+type EvalStats struct {
+	Samples    int64 // logical profiler samples (the paper's accounting unit)
+	Compiles   int64 // physical compile+profile executions
+	CacheHits  int64 // memoized answers (sum of ShardHits)
+	Merges     int64 // concurrent duplicate compiles folded by singleflight
+	StaticHits int64 // profiles answered by the SCEV static estimator
+	Batches    int64 // EvalBatch invocations
+	BatchWall  time.Duration
+	ShardHits  [cacheShards]int64 // cache hits per shard
+}
+
+// String renders the one-line form the CLI prints.
+func (s EvalStats) String() string {
+	hot := 0
+	for _, h := range s.ShardHits {
+		if h > 0 {
+			hot++
+		}
+	}
+	str := fmt.Sprintf("samples=%d compiles=%d cache-hits=%d (%d/%d shards) merges=%d static=%d",
+		s.Samples, s.Compiles, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits)
+	if s.Batches > 0 {
+		str += fmt.Sprintf(" batches=%d batch-wall=%s", s.Batches,
+			s.BatchWall.Round(time.Millisecond))
+	}
+	return str
+}
+
+// EvalStats snapshots the program-level counters (everything except the
+// per-batch numbers, which live on an Evaluator).
+func (p *Program) EvalStats() EvalStats {
+	s := EvalStats{
+		Samples:    p.samples.Load(),
+		Compiles:   p.compiles.Load(),
+		CacheHits:  p.cacheHits.Load(),
+		Merges:     p.merges.Load(),
+		StaticHits: p.staticHits.Load(),
+	}
+	for i := range p.shards {
+		s.ShardHits[i] = p.shards[i].hits.Load()
+	}
+	return s
+}
+
+// Stats snapshots the program-level counters plus this Evaluator's batch
+// accounting.
+func (e *Evaluator) Stats() EvalStats {
+	s := e.p.EvalStats()
+	s.Batches = e.batches.Load()
+	s.BatchWall = time.Duration(e.wallNS.Load())
+	return s
+}
+
+// runIndexed runs fn(i) for every i in [0,n) across min(workers, n)
+// goroutines pulling indices from a shared counter. fn must only write
+// state owned by its own index. workers<=1 degenerates to a plain
+// sequential loop with no goroutines at all.
+func runIndexed(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

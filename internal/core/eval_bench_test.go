@@ -1,0 +1,34 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"autophase/internal/progen"
+)
+
+// BenchmarkCompileParallel measures batch-evaluation throughput at
+// increasing worker counts over one matmul-scale program. Each iteration
+// drops the compile cache first, so the benchmark measures real compiles
+// plus the sharded-cache coordination, not memoized lookups. The acceptance
+// bar for the sharded design is ≥2x throughput at 4 workers over workers=1.
+func BenchmarkCompileParallel(b *testing.B) {
+	p, err := NewProgram("matmul", progen.Benchmark("matmul"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqs := randSeqs(rand.New(rand.NewSource(17)), 64, 8)
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ev := NewEvaluator(p, workers)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.ResetSamples(true)
+				ev.EvalBatch(seqs)
+			}
+			b.ReportMetric(float64(b.N*len(seqs))/b.Elapsed().Seconds(), "compiles/s")
+		})
+	}
+}

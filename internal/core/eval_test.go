@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"autophase/internal/passes"
+)
+
+// randSeqs draws n random pass sequences of length l.
+func randSeqs(rng *rand.Rand, n, l int) [][]int {
+	seqs := make([][]int, n)
+	for i := range seqs {
+		s := make([]int, l)
+		for j := range s {
+			s[j] = rng.Intn(passes.NumActions)
+		}
+		seqs[i] = s
+	}
+	return seqs
+}
+
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	seqs := randSeqs(rand.New(rand.NewSource(7)), 40, 6)
+
+	ref := mustProgram(t, "matmul")
+	type want struct {
+		cycles int64
+		feats  []int64
+		ok     bool
+	}
+	wants := make([]want, len(seqs))
+	for i, s := range seqs {
+		c, f, ok := ref.Compile(s)
+		wants[i] = want{c, f, ok}
+	}
+
+	p := mustProgram(t, "matmul")
+	got := NewEvaluator(p, 8).EvalBatch(seqs)
+	if len(got) != len(seqs) {
+		t.Fatalf("got %d results for %d seqs", len(got), len(seqs))
+	}
+	for i, r := range got {
+		if r.Cycles != wants[i].cycles || r.Ok != wants[i].ok || !reflect.DeepEqual(r.Feats, wants[i].feats) {
+			t.Fatalf("seq %d: batch (%d,%v) != sequential (%d,%v)",
+				i, r.Cycles, r.Ok, wants[i].cycles, wants[i].ok)
+		}
+	}
+	if p.Samples() != ref.Samples() {
+		t.Fatalf("sample accounting diverged: batch %d, sequential %d", p.Samples(), ref.Samples())
+	}
+}
+
+func TestEvalStatsAccounting(t *testing.T) {
+	p := mustProgram(t, "gsm")
+	distinct := randSeqs(rand.New(rand.NewSource(3)), 12, 5)
+	var seqs [][]int
+	for round := 0; round < 3; round++ {
+		seqs = append(seqs, distinct...)
+	}
+	ev := NewEvaluator(p, 6)
+	out := ev.EvalBatch(seqs)
+	st := ev.Stats()
+
+	// Every duplicate must be answered from the cache or folded by
+	// singleflight, never recompiled. Failed profiles are not cached and may
+	// recompile, so only count successful distinct sequences as the floor.
+	okDistinct := 0
+	for i := range distinct {
+		if out[i].Ok {
+			okDistinct++
+		}
+	}
+	if okDistinct == 0 {
+		t.Fatal("want at least one successful compile in the batch")
+	}
+	maxCompiles := int64(len(seqs) - 2*okDistinct)
+	if st.Compiles < int64(okDistinct) || st.Compiles > maxCompiles {
+		t.Fatalf("compiles=%d want within [%d,%d] for %d seqs (%d distinct ok)",
+			st.Compiles, okDistinct, maxCompiles, len(seqs), okDistinct)
+	}
+	if st.CacheHits+st.Merges+st.Compiles < int64(len(seqs)) {
+		t.Fatalf("hits=%d merges=%d compiles=%d don't cover %d queries",
+			st.CacheHits, st.Merges, st.Compiles, len(seqs))
+	}
+	var shardSum int64
+	for _, h := range st.ShardHits {
+		shardSum += h
+	}
+	if shardSum != st.CacheHits {
+		t.Fatalf("shard hits sum %d != cache hits %d", shardSum, st.CacheHits)
+	}
+	if st.Batches != 1 || st.BatchWall <= 0 {
+		t.Fatalf("batches=%d wall=%s, want 1 batch with positive wall", st.Batches, st.BatchWall)
+	}
+
+	// Duplicates must agree with their first occurrence bit-for-bit.
+	for i, r := range out {
+		first := out[i%len(distinct)]
+		if r.Cycles != first.Cycles || r.Ok != first.Ok {
+			t.Fatalf("duplicate %d: (%d,%v) != first (%d,%v)", i, r.Cycles, r.Ok, first.Cycles, first.Ok)
+		}
+	}
+	if s := st.String(); s == "" {
+		t.Fatal("empty stats string")
+	}
+}
+
+func TestCollectTuplesWorkerInvariant(t *testing.T) {
+	run := func(workers int) ([]Tuple, int) {
+		p1 := mustProgram(t, "matmul")
+		p2 := mustProgram(t, "qsort")
+		rng := rand.New(rand.NewSource(11))
+		tuples := CollectTuplesParallel([]*Program{p1, p2}, 6, 8, rng, workers)
+		return tuples, p1.Samples() + p2.Samples()
+	}
+	t1, s1 := run(1)
+	t8, s8 := run(8)
+	if len(t1) == 0 {
+		t.Fatal("no tuples collected")
+	}
+	if !reflect.DeepEqual(t1, t8) {
+		t.Fatalf("tuple sets differ between workers=1 (%d tuples) and workers=8 (%d tuples)",
+			len(t1), len(t8))
+	}
+	if s1 != s8 {
+		t.Fatalf("sample counts differ: workers=1 %d, workers=8 %d", s1, s8)
+	}
+}
+
+// TestProgramParallelStress hammers one Program from 32 goroutines with
+// overlapping prefixes of a shared base sequence plus private extensions —
+// the access pattern of a population algorithm under the sharded cache.
+// Run under -race in CI; the correctness check is that every goroutine
+// observes identical cycle counts for identical sequences.
+func TestProgramParallelStress(t *testing.T) {
+	p := mustProgram(t, "matmul")
+	base := []int{38, 31, 30, 12, 3, 5, 20, 7}
+	const goroutines = 32
+
+	results := make([]map[string]int64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			got := make(map[string]int64)
+			for iter := 0; iter < 20; iter++ {
+				// Shared prefix (heavy singleflight/cache contention)...
+				seq := append([]int(nil), base[:rng.Intn(len(base)+1)]...)
+				// ...plus an occasionally-private suffix.
+				if rng.Intn(2) == 0 {
+					seq = append(seq, rng.Intn(passes.NumActions))
+				}
+				c, _, ok := p.Compile(seq)
+				if ok {
+					got[fmt.Sprint(seq)] = c
+				}
+			}
+			results[g] = got
+		}()
+	}
+	wg.Wait()
+
+	merged := make(map[string]int64)
+	for g, got := range results {
+		for k, c := range got {
+			if prev, seen := merged[k]; seen && prev != c {
+				t.Fatalf("goroutine %d saw %d cycles for %s, another saw %d", g, c, k, prev)
+			}
+			merged[k] = c
+		}
+	}
+	if len(merged) == 0 {
+		t.Fatal("no successful compiles under stress")
+	}
+}

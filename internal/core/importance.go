@@ -22,33 +22,59 @@ type Tuple struct {
 // (uniform-random pass choices, the limiting case of the paper's
 // high-exploration PPO) over the given programs.
 func CollectTuples(programs []*Program, episodes, episodeLen int, rng *rand.Rand) []Tuple {
-	var tuples []Tuple
+	return CollectTuplesParallel(programs, episodes, episodeLen, rng, 1)
+}
+
+// CollectTuplesParallel is CollectTuples with a worker pool over episodes.
+// Every episode's action sequence is drawn from rng up front, in episode
+// order, so the tuple set is a function of the seed alone: workers only
+// decide which episodes replay concurrently, and the concatenated result is
+// bit-identical at workers=1 and workers=N.
+func CollectTuplesParallel(programs []*Program, episodes, episodeLen int, rng *rand.Rand, workers int) []Tuple {
+	type episode struct {
+		prog    *Program
+		actions []int
+		tuples  []Tuple
+	}
+	var eps []*episode
 	for _, p := range programs {
-		for ep := 0; ep < episodes; ep++ {
-			var seq []int
-			hist := make([]int, passes.NumActions)
-			cycles, feats, ok := p.Compile(nil)
+		for e := 0; e < episodes; e++ {
+			actions := make([]int, episodeLen)
+			for i := range actions {
+				actions[i] = rng.Intn(passes.NumActions)
+			}
+			eps = append(eps, &episode{prog: p, actions: actions})
+		}
+	}
+	runIndexed(len(eps), workers, func(i int) {
+		ep := eps[i]
+		p := ep.prog
+		var seq []int
+		hist := make([]int, passes.NumActions)
+		cycles, feats, ok := p.Compile(nil)
+		if !ok {
+			return
+		}
+		for _, a := range ep.actions {
+			tu := Tuple{
+				Features: append([]int64(nil), feats...),
+				Hist:     append([]int(nil), hist...),
+				Action:   a,
+			}
+			seq = append(seq, a)
+			hist[a]++
+			nc, nf, ok := p.Compile(seq)
 			if !ok {
 				break
 			}
-			for t := 0; t < episodeLen; t++ {
-				a := rng.Intn(passes.NumActions)
-				tu := Tuple{
-					Features: append([]int64(nil), feats...),
-					Hist:     append([]int(nil), hist...),
-					Action:   a,
-				}
-				seq = append(seq, a)
-				hist[a]++
-				nc, nf, ok := p.Compile(seq)
-				if !ok {
-					break
-				}
-				tu.Improved = nc < cycles
-				cycles, feats = nc, nf
-				tuples = append(tuples, tu)
-			}
+			tu.Improved = nc < cycles
+			cycles, feats = nc, nf
+			ep.tuples = append(ep.tuples, tu)
 		}
+	})
+	var tuples []Tuple
+	for _, ep := range eps {
+		tuples = append(tuples, ep.tuples...)
 	}
 	return tuples
 }

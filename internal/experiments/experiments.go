@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"autophase/internal/core"
 	"autophase/internal/ir"
@@ -51,6 +52,21 @@ type Scale struct {
 	// uses 256×256; the quick scale shrinks it for wall-clock.
 	Hidden []int
 	LR     float64
+
+	// Workers is the evaluation parallelism (the -workers CLI knob): batch
+	// scoring in the black-box baselines, ES perturbation evaluation and
+	// tuple collection all fan out this wide. 0 means one worker per
+	// available CPU; Quick pins 1 so recorded trajectories stay bit-stable
+	// across machines.
+	Workers int
+}
+
+// workers resolves the Scale's worker count (0 = all CPUs).
+func (sc Scale) workers() int {
+	if sc.Workers > 0 {
+		return sc.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Quick is the scaled-down default used by the benchmarks.
@@ -65,6 +81,7 @@ func Quick() Scale {
 		TupleEpisodes: 16, TupleLen: 14,
 		KeepFeatures: 24, KeepPasses: 16,
 		Hidden: []int{64, 64}, LR: 1e-3,
+		Workers: 1,
 	}
 }
 

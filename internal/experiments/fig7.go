@@ -100,9 +100,15 @@ func RunFig7Algo(algo string, p *core.Program, sc Scale) int64 {
 		cfg.Sigma = 0.12
 		cfg.Hidden = sc.Hidden
 		cfg.LR = 0.08
-		env := core.NewPhaseEnv(p, envCfg(core.ObsFeatures, sc))
-		agent := rl.NewES(cfg, env.ObsSize(), env.ActionDims())
-		agent.Train([]rl.Env{env}, sc.ESSteps, nil)
+		cfg.Workers = sc.workers()
+		// One environment per worker: perturbations spread across them
+		// through the sharded compile cache (candidate i on env i%w).
+		envs := make([]rl.Env, sc.workers())
+		for i := range envs {
+			envs[i] = core.NewPhaseEnv(p, envCfg(core.ObsFeatures, sc))
+		}
+		agent := rl.NewES(cfg, envs[0].ObsSize(), envs[0].ActionDims())
+		agent.Train(envs, sc.ESSteps, nil)
 	case "Genetic-DEAP":
 		obj := objective(p, sc)
 		search.Genetic(obj, rng(hash(p.Name)+3), search.DefaultGA(), sc.GABudget)
@@ -130,16 +136,10 @@ func envCfg(obs core.ObsKind, sc Scale) core.EnvConfig {
 	return cfg
 }
 
-// objective adapts a Program to the black-box search interface.
+// objective adapts a Program to the black-box search interface through the
+// batch evaluation engine (sc.workers() concurrent compiles).
 func objective(p *core.Program, sc Scale) *search.Objective {
-	return &search.Objective{
-		K: 45,
-		N: sc.EpisodeLen,
-		Eval: func(seq []int) (int64, bool) {
-			c, _, ok := p.Compile(seq)
-			return c, ok
-		},
-	}
+	return core.NewEvaluator(p, sc.workers()).Objective(sc.EpisodeLen)
 }
 
 func hash(s string) int64 {

@@ -63,7 +63,7 @@ func TrainGeneralizer(train []*core.Program, set GenSetting, sc Scale, seed int6
 	if sc.LR > 0 {
 		cfg.LR = sc.LR
 	}
-	agent := rl.NewPPO(cfg, envs[0].(*core.PhaseEnv).ObsSize(), envs[0].ActionDims())
+	agent := rl.NewPPO(cfg, envs[0].ObsSize(), envs[0].ActionDims())
 	var curve []CurvePoint
 	agent.Train(envs, sc.GenRLSteps, func(st rl.Stats) {
 		curve = append(curve, CurvePoint{Step: st.TotalSteps, RewardMean: st.EpisodeRewardMean})
@@ -212,7 +212,7 @@ func RandomGeneralization(agent *rl.PPO, cfg core.EnvConfig, n int, seed int64) 
 // Importance collects exploration tuples over the training programs and
 // runs the §4 random-forest analysis feeding Figures 5 and 6.
 func Importance(train []*core.Program, sc Scale, seed int64) *core.Importance {
-	tuples := core.CollectTuples(train, sc.TupleEpisodes, sc.TupleLen, rng(seed))
+	tuples := core.CollectTuplesParallel(train, sc.TupleEpisodes, sc.TupleLen, rng(seed), sc.workers())
 	cfg := forest.DefaultConfig
 	cfg.Trees = 16
 	cfg.Seed = seed

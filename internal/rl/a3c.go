@@ -48,7 +48,7 @@ type A3C struct {
 	optV     *nn.Adam
 	steps    int
 	episodes int
-	epRews   []float64
+	epRews   *rewardWindow
 }
 
 // NewA3C builds the shared networks.
@@ -57,7 +57,8 @@ func NewA3C(cfg A3CConfig, obsSize int, dims []int) *A3C {
 	pol := NewPolicy(rng, obsSize, dims, cfg.Hidden...)
 	vsizes := append(append([]int{obsSize}, cfg.Hidden...), 1)
 	val := nn.NewMLP(rng, nn.ReLU, vsizes...)
-	a := &A3C{Cfg: cfg, Policy: pol, Value: val, Filter: NewMeanStd(obsSize)}
+	a := &A3C{Cfg: cfg, Policy: pol, Value: val, Filter: NewMeanStd(obsSize),
+		epRews: newRewardWindow(64)}
 	a.optP = nn.NewAdam(pol.Net, cfg.LR)
 	a.optV = nn.NewAdam(val, cfg.LR)
 	a.optP.MaxNorm = 10
@@ -69,7 +70,7 @@ func NewA3C(cfg A3CConfig, obsSize int, dims []int) *A3C {
 func (a *A3C) Act(obs []float64, greedy bool) []int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	obs = a.Filter.Apply(obs)
+	obs = applyFilter(a.Filter, obs)
 	if greedy {
 		return a.Policy.Greedy(obs)
 	}
@@ -106,7 +107,7 @@ func (a *A3C) worker(id int, env Env, totalSteps int, cb func(Stats)) {
 	a.mu.Unlock()
 	pol := &Policy{Net: localP, Dims: a.Policy.Dims}
 
-	obs := a.Filter.ObserveApply(env.Reset())
+	obs := observeFilter(a.Filter, env.Reset())
 	epReward := 0.0
 	for {
 		a.mu.Lock()
@@ -130,7 +131,7 @@ func (a *A3C) worker(id int, env Env, totalSteps int, cb func(Stats)) {
 				Reward: r, Done: d, LogP: logp, Value: v,
 			})
 			epReward += r
-			obs = a.Filter.ObserveApply(next)
+			obs = observeFilter(a.Filter, next)
 			done = d
 		}
 		// n-step returns with bootstrap.
@@ -179,26 +180,19 @@ func (a *A3C) worker(id int, env Env, totalSteps int, cb func(Stats)) {
 		a.steps += len(buf)
 		if done {
 			a.episodes++
-			a.epRews = append(a.epRews, epReward)
-			if len(a.epRews) > 64 {
-				a.epRews = a.epRews[len(a.epRews)-64:]
-			}
+			a.epRews.add(epReward)
 			if cb != nil {
-				var s float64
-				for _, r := range a.epRews {
-					s += r
-				}
 				cb(Stats{
 					TotalSteps:        a.steps,
 					TotalEpisodes:     a.episodes,
-					EpisodeRewardMean: s / float64(len(a.epRews)),
+					EpisodeRewardMean: a.epRews.mean(),
 				})
 			}
 		}
 		a.mu.Unlock()
 		if done {
 			epReward = 0
-			obs = a.Filter.ObserveApply(env.Reset())
+			obs = observeFilter(a.Filter, env.Reset())
 		}
 	}
 }

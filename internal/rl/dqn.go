@@ -91,7 +91,7 @@ func (d *DQN) epsilon() float64 {
 // Act picks an action; greedy disables exploration. The observation passes
 // through the frozen filter.
 func (d *DQN) Act(obs []float64, greedy bool) []int {
-	fobs := d.Filter.Apply(obs)
+	fobs := applyFilter(d.Filter, obs)
 	if !greedy && d.rng.Float64() < d.epsilon() {
 		n := d.Q.Sizes[len(d.Q.Sizes)-1]
 		return []int{d.rng.Intn(n)}
@@ -106,9 +106,9 @@ func (d *DQN) Train(env Env, totalSteps int, cb func(Stats)) {
 	if len(env.ActionDims()) != 1 {
 		panic("rl: DQN supports single-head action spaces only")
 	}
-	obs := d.Filter.ObserveApply(env.Reset())
+	obs := observeFilter(d.Filter, env.Reset())
 	epReward := 0.0
-	var epRewards []float64
+	epRews := newRewardWindow(32)
 	for d.steps < totalSteps {
 		var action int
 		if d.rng.Float64() < d.epsilon() {
@@ -117,7 +117,7 @@ func (d *DQN) Train(env Env, totalSteps int, cb func(Stats)) {
 			action = nn.Argmax(d.Q.Forward(obs))
 		}
 		rawNext, r, done := env.Step([]int{action})
-		next := d.Filter.ObserveApply(rawNext)
+		next := observeFilter(d.Filter, rawNext)
 		d.push(replayItem{
 			obs: append([]float64(nil), obs...), action: action,
 			reward: r, next: append([]float64(nil), next...), done: done,
@@ -130,22 +130,15 @@ func (d *DQN) Train(env Env, totalSteps int, cb func(Stats)) {
 		}
 		if done {
 			d.episodes++
-			epRewards = append(epRewards, epReward)
-			if len(epRewards) > 32 {
-				epRewards = epRewards[1:]
-			}
+			epRews.add(epReward)
 			if cb != nil {
-				var s float64
-				for _, x := range epRewards {
-					s += x
-				}
 				cb(Stats{
 					TotalSteps: d.steps, TotalEpisodes: d.episodes,
-					EpisodeRewardMean: s / float64(len(epRewards)),
+					EpisodeRewardMean: epRews.mean(),
 				})
 			}
 			epReward = 0
-			obs = d.Filter.ObserveApply(env.Reset())
+			obs = observeFilter(d.Filter, env.Reset())
 		}
 	}
 }

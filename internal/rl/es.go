@@ -3,6 +3,7 @@ package rl
 import (
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // ESConfig holds the evolution-strategies hyperparameters (Salimans et al.
@@ -16,6 +17,15 @@ type ESConfig struct {
 	LR              float64
 	Seed            int64
 	EpisodesPerEval int
+	// Workers caps how many perturbations are evaluated concurrently.
+	// Parallelism comes from running different environments at once:
+	// candidate i always executes on envs[i%len(envs)], candidates sharing
+	// an environment run in submission order, every candidate samples its
+	// actions from a private RNG stream seeded before evaluation starts,
+	// and the observation filter is frozen during the generation and
+	// updated afterwards in candidate order — so a generation's outcome is
+	// bit-identical at Workers=1 and Workers=N.
+	Workers int
 }
 
 // DefaultES mirrors the paper's setting.
@@ -27,6 +37,7 @@ func DefaultES() ESConfig {
 		LR:              0.02,
 		Seed:            1,
 		EpisodesPerEval: 1,
+		Workers:         1,
 	}
 }
 
@@ -50,7 +61,7 @@ func NewES(cfg ESConfig, obsSize int, dims []int) *ES {
 
 // Act picks an action tuple.
 func (e *ES) Act(obs []float64, greedy bool) []int {
-	obs = e.Filter.Apply(obs)
+	obs = applyFilter(e.Filter, obs)
 	if greedy {
 		return e.Policy.Greedy(obs)
 	}
@@ -58,38 +69,52 @@ func (e *ES) Act(obs []float64, greedy bool) []int {
 	return a
 }
 
-// evaluate runs the (stochastic) policy for EpisodesPerEval episodes and
-// returns the mean return.
-func (e *ES) evaluate(pol *Policy, env Env) float64 {
-	total := 0.0
+// esCand is one perturbation under evaluation: its signed noise, the
+// perturbed policy, a private action-sampling RNG, and the rollout record
+// (raw observations for the deferred filter update, step/episode counts).
+type esCand struct {
+	eps      []float64
+	pol      *Policy
+	rng      *rand.Rand
+	fit      float64
+	obs      [][]float64
+	steps    int
+	episodes int
+}
+
+// evaluate runs one candidate for EpisodesPerEval episodes on env. The
+// observation filter is applied frozen; raw observations are recorded so
+// Generation can fold them into the filter deterministically afterwards.
+func (e *ES) evaluate(c *esCand, env Env) {
 	for ep := 0; ep < e.Cfg.EpisodesPerEval; ep++ {
-		obs := e.Filter.ObserveApply(env.Reset())
+		raw := env.Reset()
+		c.obs = append(c.obs, raw)
+		obs := applyFilter(e.Filter, raw)
 		for {
-			a, _ := pol.Sample(e.rng, obs)
+			a, _ := c.pol.Sample(c.rng, obs)
 			next, r, done := env.Step(a)
-			total += r
-			e.steps++
-			obs = e.Filter.ObserveApply(next)
+			c.fit += r
+			c.steps++
+			c.obs = append(c.obs, next)
+			obs = applyFilter(e.Filter, next)
 			if done {
-				e.episodes++
+				c.episodes++
 				break
 			}
 		}
 	}
-	return total / float64(e.Cfg.EpisodesPerEval)
+	c.fit /= float64(e.Cfg.EpisodesPerEval)
 }
 
-// Generation runs one ES generation over the environments (each
-// perturbation is evaluated on a cycling environment) and applies the
-// meta-update. It returns iteration statistics.
+// Generation runs one ES generation over the environments (candidate i is
+// evaluated on envs[i%len(envs)], concurrently up to Cfg.Workers
+// environments at a time) and applies the meta-update. It returns
+// iteration statistics.
 func (e *ES) Generation(envs []Env) Stats {
 	n := e.Policy.Net.NumParams()
-	type cand struct {
-		eps []float64
-		fit float64
-	}
-	cands := make([]cand, 0, 2*e.Cfg.Population)
-	ei := 0
+	cands := make([]*esCand, 0, 2*e.Cfg.Population)
+	// All shared-RNG draws (noise and per-candidate action seeds) happen
+	// here, sequentially, before any evaluation starts.
 	for p := 0; p < e.Cfg.Population; p++ {
 		eps := make([]float64, n)
 		for i := range eps {
@@ -102,11 +127,49 @@ func (e *ES) Generation(envs []Env) Stats {
 				signed[i] = sign * eps[i]
 			}
 			trial.AddNoise(signed, e.Cfg.Sigma)
-			tp := &Policy{Net: trial, Dims: e.Policy.Dims}
-			fit := e.evaluate(tp, envs[ei%len(envs)])
-			ei++
-			cands = append(cands, cand{signed, fit})
+			cands = append(cands, &esCand{
+				eps: signed,
+				pol: &Policy{Net: trial, Dims: e.Policy.Dims},
+				rng: rand.New(rand.NewSource(e.rng.Int63())),
+			})
 		}
+	}
+	// Evaluate. One goroutine per environment group (candidates i with
+	// i%len(envs) == g run in order on envs[g]), at most Workers groups in
+	// flight; workers<=1 is the plain sequential loop.
+	if e.Cfg.Workers <= 1 || len(envs) <= 1 {
+		for i, c := range cands {
+			e.evaluate(c, envs[i%len(envs)])
+		}
+	} else {
+		ng := len(envs)
+		if ng > len(cands) {
+			ng = len(cands)
+		}
+		sem := make(chan struct{}, e.Cfg.Workers)
+		var wg sync.WaitGroup
+		for g := 0; g < ng; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				for i := g; i < len(cands); i += len(envs) {
+					e.evaluate(cands[i], envs[g])
+				}
+			}(g)
+		}
+		wg.Wait()
+	}
+	// Deferred, order-deterministic bookkeeping: filter statistics and
+	// step/episode counts fold in candidate order regardless of which
+	// goroutine finished first.
+	for _, c := range cands {
+		for _, o := range c.obs {
+			e.Filter.Observe(o)
+		}
+		e.steps += c.steps
+		e.episodes += c.episodes
 	}
 	// Rank-shaped fitness (centered ranks), as in Salimans et al.
 	order := make([]int, len(cands))

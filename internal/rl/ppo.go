@@ -82,9 +82,7 @@ func NewPPO(cfg PPOConfig, obsSize int, dims []int) *PPO {
 // Act picks an action tuple for obs; greedy selects the mode. The
 // observation passes through the (frozen) filter.
 func (p *PPO) Act(obs []float64, greedy bool) []int {
-	if p.Filter != nil {
-		obs = p.Filter.Apply(obs)
-	}
+	obs = applyFilter(p.Filter, obs)
 	if greedy {
 		return p.Policy.Greedy(obs)
 	}
@@ -100,9 +98,9 @@ func (p *PPO) TrainIteration(envs []Env) Stats {
 	buf := make([]Transition, 0, p.Cfg.RolloutSteps)
 	ei := p.rng.Intn(len(envs))
 	env := envs[ei]
-	obs := p.filter(env.Reset())
-	epReward, epCount, rewardSum := 0.0, 0, 0.0
-	var epRewards []float64
+	obs := observeFilter(p.Filter, env.Reset())
+	epReward, rewardSum := 0.0, 0.0
+	epRews := newRewardWindow(0)
 
 	for len(buf) < p.Cfg.RolloutSteps {
 		actions, logp := p.Policy.Sample(p.rng, obs)
@@ -117,16 +115,15 @@ func (p *PPO) TrainIteration(envs []Env) Stats {
 		})
 		epReward += r
 		rewardSum += r
-		obs = p.filter(next)
+		obs = observeFilter(p.Filter, next)
 		p.steps++
 		if done {
-			epRewards = append(epRewards, epReward)
+			epRews.add(epReward)
 			epReward = 0
-			epCount++
 			p.episodes++
 			ei = (ei + 1) % len(envs)
 			env = envs[ei]
-			obs = p.filter(env.Reset())
+			obs = observeFilter(p.Filter, env.Reset())
 		}
 	}
 	lastVal := p.Value.Forward(obs)[0]
@@ -148,12 +145,8 @@ func (p *PPO) TrainIteration(envs []Env) Stats {
 	}
 
 	stats := Stats{Iteration: p.iter, TotalSteps: p.steps, TotalEpisodes: p.episodes}
-	if len(epRewards) > 0 {
-		var s float64
-		for _, r := range epRewards {
-			s += r
-		}
-		stats.EpisodeRewardMean = s / float64(len(epRewards))
+	if epRews.count() > 0 {
+		stats.EpisodeRewardMean = epRews.mean()
 	} else {
 		stats.EpisodeRewardMean = rewardSum
 	}
@@ -209,14 +202,6 @@ func (p *PPO) TrainIteration(envs []Env) Stats {
 		stats.Entropy = entSum / float64(nUpd)
 	}
 	return stats
-}
-
-// filter runs the training-time observation path.
-func (p *PPO) filter(obs []float64) []float64 {
-	if p.Filter == nil {
-		return obs
-	}
-	return p.Filter.ObserveApply(obs)
 }
 
 // Train runs iterations until totalSteps environment steps have been

@@ -146,6 +146,54 @@ func computeGAE(buf []Transition, gamma, lambda, lastValue float64) {
 	}
 }
 
+// applyFilter standardizes obs through f without updating its statistics
+// (the frozen, inference-time path); a nil filter passes obs through.
+func applyFilter(f *MeanStd, obs []float64) []float64 {
+	if f == nil {
+		return obs
+	}
+	return f.Apply(obs)
+}
+
+// observeFilter folds obs into f's running statistics and returns it
+// standardized (the training-time path); a nil filter passes obs through.
+func observeFilter(f *MeanStd, obs []float64) []float64 {
+	if f == nil {
+		return obs
+	}
+	return f.ObserveApply(obs)
+}
+
+// rewardWindow tracks a sliding window of finished-episode returns — the
+// EpisodeRewardMean bookkeeping every trainer needs. size<=0 keeps every
+// return.
+type rewardWindow struct {
+	size int
+	rews []float64
+}
+
+func newRewardWindow(size int) *rewardWindow { return &rewardWindow{size: size} }
+
+func (w *rewardWindow) add(r float64) {
+	w.rews = append(w.rews, r)
+	if w.size > 0 && len(w.rews) > w.size {
+		w.rews = w.rews[len(w.rews)-w.size:]
+	}
+}
+
+func (w *rewardWindow) count() int { return len(w.rews) }
+
+func (w *rewardWindow) mean() float64 {
+	if len(w.rews) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, r := range w.rews {
+		s += r
+	}
+	return s / float64(len(w.rews))
+}
+
 // Stats reports one training iteration.
 type Stats struct {
 	Iteration         int

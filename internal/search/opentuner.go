@@ -8,9 +8,14 @@ import (
 // OpenTuner reproduces OpenTuner's default search strategy: an AUC-bandit
 // meta-technique directing an ensemble of six sub-techniques — particle
 // swarm optimization and a genetic algorithm, each under three crossover
-// settings (§6.1 of the paper). Each step the bandit picks the technique
-// with the best exploitation/exploration score, asks it for one candidate,
-// and credits it when the candidate improves the incumbent.
+// settings (§6.1 of the paper). Each round the bandit picks the technique
+// with the best exploitation/exploration score, asks it for o.Batch
+// candidates (one when the objective is scalar), scores them as one batch,
+// and credits the technique for every candidate that improves the
+// incumbent. The bandit is inherently sequential — each pick depends on
+// all previous outcomes — so batching trades a slightly staler bandit
+// state (proposals within a round don't see each other's wins) for
+// worker-pool parallelism; at Batch<=1 behaviour is exactly the paper's.
 func OpenTuner(o *Objective, rng *rand.Rand, budget int) Result {
 	techs := []technique{
 		newPSO(o, rng, OnePoint),
@@ -60,18 +65,27 @@ func OpenTuner(o *Objective, rng *rand.Rand, budget int) Result {
 				}
 			}
 		}
-		cand := techs[pick].propose()
-		v, ok := o.Evaluate(cand)
-		techs[pick].report(cand, v, ok)
-		uses[pick]++
-		win := ok && (!hasBest || v < best)
-		if win {
-			best = v
-			hasBest = true
+		k := o.batchSize()
+		if rem := budget - o.Samples(); k > rem {
+			k = rem
 		}
-		history = append(history, use{pick, win})
-		if len(history) > window {
-			history = history[1:]
+		cands := make([][]int, k)
+		for i := range cands {
+			cands[i] = techs[pick].propose()
+		}
+		outs := o.EvaluateBatch(cands)
+		for i, out := range outs {
+			techs[pick].report(cands[i], out.Val, out.Ok)
+			uses[pick]++
+			win := out.Ok && (!hasBest || out.Val < best)
+			if win {
+				best = out.Val
+				hasBest = true
+			}
+			history = append(history, use{pick, win})
+			if len(history) > window {
+				history = history[1:]
+			}
 		}
 	}
 	return o.result()
@@ -98,6 +112,7 @@ type psoTech struct {
 	gbest    []int
 	gbestVal int64
 	cur      int
+	pending  []int // particle index per outstanding proposal, FIFO
 }
 
 func newPSO(o *Objective, rng *rand.Rand, op CrossoverOp) *psoTech {
@@ -136,6 +151,7 @@ func (p *psoTech) snap(pos []float64) []int {
 func (p *psoTech) propose() []int {
 	i := p.cur
 	p.cur = (p.cur + 1) % len(p.pos)
+	p.pending = append(p.pending, i)
 	const w, c1, c2 = 0.7, 1.4, 1.4
 	for j := range p.pos[i] {
 		var pb, gb float64
@@ -171,11 +187,17 @@ func (p *psoTech) propose() []int {
 	return seq
 }
 
+// report consumes the oldest outstanding proposal: batched rounds report
+// results in proposal order, so a FIFO keeps the particle pairing exact.
 func (p *psoTech) report(seq []int, val int64, ok bool) {
+	if len(p.pending) == 0 {
+		return
+	}
+	i := p.pending[0]
+	p.pending = p.pending[1:]
 	if !ok {
 		return
 	}
-	i := (p.cur + len(p.pos) - 1) % len(p.pos)
 	if val < p.pbestVal[i] {
 		p.pbestVal[i] = val
 		p.pbest[i] = append([]int(nil), seq...)
@@ -193,7 +215,6 @@ type gaTech struct {
 	op   CrossoverOp
 	pop  [][]int
 	vals []int64
-	last []int
 }
 
 func newGATech(o *Objective, rng *rand.Rand, op CrossoverOp) *gaTech {
@@ -224,7 +245,6 @@ func (g *gaTech) propose() []int {
 			c1[i] = g.rng.Intn(g.o.K)
 		}
 	}
-	g.last = c1
 	return c1
 }
 

@@ -17,8 +17,18 @@ import (
 // Objective evaluates candidate pass sequences.
 type Objective struct {
 	// Eval compiles a clone of the program with the sequence and returns
-	// the estimated cycle count.
+	// the estimated cycle count. Optional when EvalBatch is set.
 	Eval func(seq []int) (int64, bool)
+	// EvalBatch scores many candidates at once (typically through
+	// core.Evaluator's worker pool). Optional: when nil, EvaluateBatch
+	// falls back to scalar Eval calls; when set, scalar Evaluate becomes a
+	// one-element batch.
+	EvalBatch func(seqs [][]int) []EvalOutcome
+	// Batch hints how many candidates the backend can usefully score
+	// concurrently (the -workers knob). Sequential algorithms with
+	// batchable inner loops (OpenTuner's bandit rounds) propose this many
+	// per round; 0 or 1 means scalar.
+	Batch int
 	// K is the number of selectable passes.
 	K int
 	// N is the maximum sequence length.
@@ -30,8 +40,19 @@ type Objective struct {
 	hasBest bool
 }
 
+// EvalOutcome is one batched evaluation verdict. A failed compile reports
+// Ok=false with Val forced to math.MaxInt64, mirroring scalar Evaluate.
+type EvalOutcome struct {
+	Val int64
+	Ok  bool
+}
+
 // Evaluate scores a sequence, tracking sample count and the incumbent.
 func (o *Objective) Evaluate(seq []int) (int64, bool) {
+	if o.Eval == nil && o.EvalBatch != nil {
+		r := o.EvaluateBatch([][]int{seq})[0]
+		return r.Val, r.Ok
+	}
 	o.samples++
 	v, ok := o.Eval(seq)
 	if !ok {
@@ -43,6 +64,47 @@ func (o *Objective) Evaluate(seq []int) (int64, bool) {
 		o.hasBest = true
 	}
 	return v, true
+}
+
+// EvaluateBatch scores candidates in submission order: the sample counter
+// and the incumbent update exactly as len(seqs) scalar Evaluate calls
+// would, so a search algorithm that generates its candidates before
+// scoring them is bit-identical at any worker count.
+func (o *Objective) EvaluateBatch(seqs [][]int) []EvalOutcome {
+	if len(seqs) == 0 {
+		return nil
+	}
+	var outs []EvalOutcome
+	if o.EvalBatch != nil {
+		outs = o.EvalBatch(seqs)
+	} else {
+		outs = make([]EvalOutcome, len(seqs))
+		for i, s := range seqs {
+			v, ok := o.Eval(s)
+			outs[i] = EvalOutcome{Val: v, Ok: ok}
+		}
+	}
+	for i := range outs {
+		o.samples++
+		if !outs[i].Ok {
+			outs[i].Val = math.MaxInt64
+			continue
+		}
+		if !o.hasBest || outs[i].Val < o.bestVal {
+			o.bestVal = outs[i].Val
+			o.bestSeq = append([]int(nil), seqs[i]...)
+			o.hasBest = true
+		}
+	}
+	return outs
+}
+
+// batchSize is the per-round proposal count for sequential algorithms.
+func (o *Objective) batchSize() int {
+	if o.Batch > 1 {
+		return o.Batch
+	}
+	return 1
 }
 
 // Samples returns the number of objective evaluations so far.
@@ -64,14 +126,26 @@ func (o *Objective) result() Result {
 }
 
 // Random generates `budget` random sequences of full length N at once, as
-// the paper's `random` baseline does, and returns the best.
+// the paper's `random` baseline does, and returns the best. Candidates are
+// drawn from rng in order and scored in worker-pool-sized chunks, so the
+// result is identical at any worker count.
 func Random(o *Objective, rng *rand.Rand, budget int) Result {
-	for s := 0; s < budget; s++ {
-		seq := make([]int, o.N)
-		for i := range seq {
-			seq[i] = rng.Intn(o.K)
+	const chunk = 128
+	for s := 0; s < budget; {
+		n := budget - s
+		if n > chunk {
+			n = chunk
 		}
-		o.Evaluate(seq)
+		seqs := make([][]int, n)
+		for j := range seqs {
+			seq := make([]int, o.N)
+			for i := range seq {
+				seq[i] = rng.Intn(o.K)
+			}
+			seqs[j] = seq
+		}
+		o.EvaluateBatch(seqs)
+		s += n
 	}
 	return o.result()
 }
@@ -179,18 +253,37 @@ func Genetic(o *Objective, rng *rand.Rand, cfg GAConfig, budget int) Result {
 		}
 		return indiv{seq: seq}
 	}
-	evalInd := func(ind *indiv) bool {
-		v, ok := o.Evaluate(ind.seq)
-		ind.val = v
-		return ok
+	// evalPop scores the individuals as one batch, truncating to whatever
+	// budget remains; batch order matches the sequential evaluation order.
+	evalPop := func(inds []indiv) []indiv {
+		if m := budget - o.Samples(); len(inds) > m {
+			if m < 0 {
+				m = 0
+			}
+			inds = inds[:m]
+		}
+		if len(inds) == 0 {
+			return inds
+		}
+		seqs := make([][]int, len(inds))
+		for i := range inds {
+			seqs[i] = inds[i].seq
+		}
+		outs := o.EvaluateBatch(seqs)
+		for i := range inds {
+			inds[i].val = outs[i].Val
+		}
+		return inds
 	}
 	pop := make([]indiv, cfg.Population)
 	for i := range pop {
 		pop[i] = newInd()
-		if o.Samples() >= budget {
-			break
-		}
-		evalInd(&pop[i])
+	}
+	if scored := evalPop(pop); len(scored) < len(pop) {
+		pop = pop[:len(scored)]
+	}
+	if len(pop) == 0 {
+		return o.result()
 	}
 	tournament := func() indiv {
 		best := pop[rng.Intn(len(pop))]
@@ -222,13 +315,7 @@ func Genetic(o *Objective, rng *rand.Rand, cfg GAConfig, budget int) Result {
 			}
 			next = append(next, indiv{seq: c1}, indiv{seq: c2})
 		}
-		for i := range next {
-			if o.Samples() >= budget {
-				next = next[:i]
-				break
-			}
-			evalInd(&next[i])
-		}
+		next = evalPop(next)
 		if len(next) == 0 {
 			break
 		}
