@@ -41,6 +41,7 @@ import (
 	"autophase/internal/interp"
 	"autophase/internal/ir"
 	"autophase/internal/passes"
+	"autophase/internal/profiling"
 	"autophase/internal/progen"
 	"autophase/internal/rl"
 	"autophase/internal/search"
@@ -72,7 +73,15 @@ func main() {
 	sanitize := flag.Bool("sanitize", false, "run the pass sanitizer during optimization; on miscompilation print the minimized repro and exit 1")
 	list := flag.Bool("list", false, "list available programs, algorithms and passes")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel candidate evaluations (results identical at any count)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("programs:", strings.Join(progen.BenchmarkNames, ", "), "+ rand:<seed>")

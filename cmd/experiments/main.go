@@ -18,6 +18,7 @@ import (
 
 	"autophase/internal/core"
 	"autophase/internal/experiments"
+	"autophase/internal/profiling"
 )
 
 func main() {
@@ -25,7 +26,15 @@ func main() {
 	scale := flag.String("scale", "quick", "budget scale: quick or full")
 	csv := flag.Bool("csv", false, "emit heat maps as CSV instead of ASCII")
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = the scale's default: quick pins 1, full uses all CPUs)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	sc := experiments.Quick()
 	if *scale == "full" {
@@ -34,8 +43,10 @@ func main() {
 	if *workers > 0 {
 		sc.Workers = *workers
 	}
-	if err := run(*exp, sc, *csv); err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
+	runErr := run(*exp, sc, *csv)
+	stopProf()
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", runErr)
 		os.Exit(1)
 	}
 }

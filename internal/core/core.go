@@ -35,9 +35,21 @@ const cacheShards = 32
 // on the *same* sequence are deduplicated singleflight-style: one goroutine
 // compiles, the rest wait on its result and are counted as merges — the
 // duplicated work is accounted for, not repeated.
+//
+// The cache is two-level. The per-shard sequence index maps a pass sequence
+// to the structural fingerprint of the IR it produces; the fingerprint-keyed
+// store holds the physical profile (cycles, area) and, through featMemo, the
+// feature vector. Distinct sequences that converge on the same IR — the
+// common case, since most passes are no-ops most of the time — share one
+// profiler run and one feature extraction (counted as FPHits rather than
+// Compiles).
 type Program struct {
 	Name string
 	orig *ir.Module
+	// origFP is the fingerprint of the unoptimized module: the empty
+	// sequence's entry in the fingerprint store, and the fingerprint every
+	// all-no-op sequence resolves to without profiling.
+	origFP ir.Fingerprint
 
 	O0Cycles int64 // cycles with no optimization
 	O3Cycles int64 // cycles after the -O3 reference pipeline
@@ -54,18 +66,34 @@ type Program struct {
 
 	shards [cacheShards]cacheShard
 
+	// The fingerprint store: physical profile results keyed by the
+	// structural fingerprint of the optimized IR. Entries referenced by a
+	// cached sequence-index entry (refs > 0) are never evicted, so the thin
+	// index cannot be orphaned; unreferenced entries (the O0/O3 seeds, or
+	// leftovers after SetLimits) go first when the store exceeds fpStoreCap.
+	fpMu      sync.Mutex
+	fpEntries map[ir.Fingerprint]*fpEntry
+	fpOrder   []ir.Fingerprint // insertion order (eviction)
+
+	// featMemo memoizes feature vectors by fingerprint: feature extraction
+	// is pure in the IR, so IR-equal modules share one extraction.
+	featMemo features.Memo
+
 	irMu    sync.Mutex
-	irCache map[string]*ir.Module // optimized IR per sequence prefix
-	irOrder []string              // irCache keys in insertion order (eviction)
+	irCache map[string]irEntry // optimized IR + fingerprint per sequence prefix
+	irOrder []string           // irCache keys in insertion order (eviction)
 
 	// The atomic stats block (EvalStats is its snapshot): samples is the
 	// paper's accounting unit, the rest are the evaluation engine's
 	// observability surface.
-	samples    atomic.Int64
-	compiles   atomic.Int64 // physical compile+profile executions
-	cacheHits  atomic.Int64
-	merges     atomic.Int64 // singleflight-deduplicated concurrent compiles
-	staticHits atomic.Int64 // profiles answered by the SCEV static estimator
+	samples      atomic.Int64
+	compiles     atomic.Int64 // physical compile+profile executions
+	cacheHits    atomic.Int64
+	merges       atomic.Int64 // singleflight-deduplicated concurrent compiles
+	staticHits   atomic.Int64 // profiles answered by the SCEV static estimator
+	fpHits       atomic.Int64 // new sequences sharing an existing profile by fingerprint
+	noopIR       atomic.Int64 // pass suffixes that changed nothing (module reused outright)
+	fpMismatches atomic.Int64 // sanitizer: stored fp profile disagreed with recompute
 
 	bestMu  sync.Mutex
 	best    int64 // best cycle count seen since the last reset
@@ -82,10 +110,32 @@ type Program struct {
 
 type cacheShard struct {
 	mu       sync.RWMutex
-	cache    map[string]compileResult
-	feats    map[string][]int64
+	cache    map[string]seqEntry
 	inflight map[string]*inflight
 	hits     atomic.Int64
+}
+
+// seqEntry is one sequence-index record: the fingerprint of the IR the
+// sequence produces (profile and features live in the fingerprint store),
+// or a cached failure verdict (ok=false, sanitizer-flagged sequences).
+type seqEntry struct {
+	fp ir.Fingerprint
+	ok bool
+}
+
+// fpEntry is one fingerprint-store record. refs counts the sequence-index
+// entries resolving to it; referenced entries are never evicted.
+type fpEntry struct {
+	cycles, area int64
+	hasProfile   bool
+	refs         int
+}
+
+// irEntry pairs a cached optimized module with its fingerprint, so prefix
+// extension and no-op reuse never re-hash a module already fingerprinted.
+type irEntry struct {
+	m  *ir.Module
+	fp ir.Fingerprint
 }
 
 // inflight is one in-progress compilation. Waiters block on done; the
@@ -102,10 +152,16 @@ type inflight struct {
 // whole sequence. It is a variable only so tests can shrink it.
 var irCacheCap = 2048
 
+// fpStoreCap bounds the fingerprint store. Only unreferenced entries are
+// evictable, so the store can exceed the cap while every entry is live.
+// It is a variable only so tests can shrink it.
+var fpStoreCap = 1 << 15
+
 type compileResult struct {
 	cycles int64
 	area   int64
 	feats  []int64
+	fp     ir.Fingerprint
 	ok     bool
 }
 
@@ -113,14 +169,16 @@ type compileResult struct {
 // wrapped program. The module is cloned; the caller's copy is not touched.
 func NewProgram(name string, m *ir.Module) (*Program, error) {
 	p := &Program{
-		Name:    name,
-		orig:    m.Clone(),
-		hlsCfg:  hls.DefaultConfig,
-		lim:     interp.DefaultLimits,
-		irCache: make(map[string]*ir.Module),
+		Name:      name,
+		orig:      m.Clone(),
+		hlsCfg:    hls.DefaultConfig,
+		lim:       interp.DefaultLimits,
+		irCache:   make(map[string]irEntry),
+		fpEntries: make(map[ir.Fingerprint]*fpEntry),
 	}
+	p.origFP = p.orig.Fingerprint()
 	for i := range p.shards {
-		p.shards[i].cache = make(map[string]compileResult)
+		p.shards[i].cache = make(map[string]seqEntry)
 	}
 	r0, err := p.profile(p.orig)
 	if err != nil {
@@ -134,6 +192,11 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 		return nil, fmt.Errorf("core: O3 profile of %s: %w", name, err)
 	}
 	p.O3Cycles = r3.Cycles
+	// Seed the fingerprint store with the baselines: a search sequence that
+	// reproduces the unoptimized or the -O3 IR shares these profiles instead
+	// of re-running the profiler. Unreferenced, so evictable.
+	p.fpPublish(p.origFP, r0.Cycles, int64(r0.AreaLUT), false)
+	p.fpPublish(o3.Fingerprint(), r3.Cycles, int64(r3.AreaLUT), false)
 	return p, nil
 }
 
@@ -182,12 +245,17 @@ func (p *Program) SanitizerReport() *passes.SanitizerReport {
 }
 
 // Features returns the feature vector of the unoptimized program.
-func (p *Program) Features() []int64 { return features.Extract(p.orig) }
+func (p *Program) Features() []int64 { return p.featMemo.Extract(p.orig, p.origFP) }
 
+// seqKey encodes a sequence as two big-endian bytes per pass index. The
+// fixed width keeps the byte-prefix ⟺ sequence-prefix equivalence the IR
+// cache's prefix reuse and eviction protection depend on, while indices up
+// to 65535 encode without aliasing (byte(s) collapsed 256+i onto i).
 func seqKey(seq []int) string {
-	b := make([]byte, len(seq))
+	b := make([]byte, 2*len(seq))
 	for i, s := range seq {
-		b[i] = byte(s)
+		b[2*i] = byte(s >> 8)
+		b[2*i+1] = byte(s)
 	}
 	return string(b)
 }
@@ -217,26 +285,119 @@ func (p *Program) CompileArea(seq []int) (cycles, area int64, ok bool) {
 	return r.cycles, r.area, r.ok
 }
 
+// resolve materializes a compileResult from a sequence-index entry. It
+// fails (second return false) only when the entry went stale — its
+// fingerprint-store record lost its profile or its feature memo entry was
+// dropped — in which case the caller recomputes as a miss.
+func (p *Program) resolve(e seqEntry) (compileResult, bool) {
+	if !e.ok {
+		return compileResult{}, true // cached failure verdict
+	}
+	cyc, area, ok := p.fpPeek(e.fp)
+	if !ok {
+		return compileResult{}, false
+	}
+	feats := p.featMemo.Get(e.fp)
+	if feats == nil {
+		return compileResult{}, false
+	}
+	return compileResult{cycles: cyc, area: area, feats: feats, fp: e.fp, ok: true}, true
+}
+
+// fpPeek reads a fingerprint-store profile without touching refcounts.
+func (p *Program) fpPeek(fp ir.Fingerprint) (cycles, area int64, ok bool) {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	if e := p.fpEntries[fp]; e != nil && e.hasProfile {
+		return e.cycles, e.area, true
+	}
+	return 0, 0, false
+}
+
+// fpShare is the fingerprint fast path: if fp already has a profile, take a
+// reference (the caller will cache a sequence-index entry resolving to it)
+// and return the shared result.
+func (p *Program) fpShare(fp ir.Fingerprint) (cycles, area int64, ok bool) {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	if e := p.fpEntries[fp]; e != nil && e.hasProfile {
+		e.refs++
+		return e.cycles, e.area, true
+	}
+	return 0, 0, false
+}
+
+// fpPublish records a physical profile under fp, taking a reference when
+// the caller caches a sequence-index entry for it (ref), and evicts
+// unreferenced entries once the store exceeds its cap.
+func (p *Program) fpPublish(fp ir.Fingerprint, cycles, area int64, ref bool) {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	e := p.fpEntries[fp]
+	if e == nil {
+		e = &fpEntry{}
+		p.fpEntries[fp] = e
+		p.fpOrder = append(p.fpOrder, fp)
+	}
+	e.cycles, e.area, e.hasProfile = cycles, area, true
+	if ref {
+		e.refs++
+	}
+	for len(p.fpEntries) > fpStoreCap {
+		victim := -1
+		for i, k := range p.fpOrder {
+			if v := p.fpEntries[k]; v != nil && v.refs == 0 && k != fp {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return // every entry is referenced; over-cap is the safe state
+		}
+		delete(p.fpEntries, p.fpOrder[victim])
+		p.fpOrder = append(p.fpOrder[:victim], p.fpOrder[victim+1:]...)
+	}
+}
+
+// fpUnref releases a sequence-index entry's reference.
+func (p *Program) fpUnref(fp ir.Fingerprint) {
+	p.fpMu.Lock()
+	defer p.fpMu.Unlock()
+	if e := p.fpEntries[fp]; e != nil && e.refs > 0 {
+		e.refs--
+	}
+}
+
 // compile is the shared memoized entry point: shard read-lock fast path,
 // then singleflight on a miss.
 func (p *Program) compile(seq []int) compileResult {
 	key := seqKey(seq)
 	sh := &p.shards[shardIndex(key)]
 	sh.mu.RLock()
-	r, hit := sh.cache[key]
+	e, hit := sh.cache[key]
 	sh.mu.RUnlock()
 	if hit {
-		p.cacheHits.Add(1)
-		sh.hits.Add(1)
-		return r
+		if r, ok := p.resolve(e); ok {
+			p.cacheHits.Add(1)
+			sh.hits.Add(1)
+			return r
+		}
 	}
 
 	sh.mu.Lock()
-	if r, hit := sh.cache[key]; hit {
-		sh.mu.Unlock()
-		p.cacheHits.Add(1)
-		sh.hits.Add(1)
-		return r
+	if e, hit := sh.cache[key]; hit {
+		if r, ok := p.resolve(e); ok {
+			sh.mu.Unlock()
+			p.cacheHits.Add(1)
+			sh.hits.Add(1)
+			return r
+		}
+		// Stale index entry (fingerprint store cleared under it): drop it
+		// and recompute through the singleflight path.
+		delete(sh.cache, key)
+		if e.ok {
+			p.fpUnref(e.fp)
+		}
 	}
 	if fl, busy := sh.inflight[key]; busy {
 		sh.mu.Unlock()
@@ -261,7 +422,9 @@ func (p *Program) compile(seq []int) compileResult {
 
 	sh.mu.Lock()
 	if cacheable {
-		sh.cache[key] = res
+		// The fingerprint-store reference for this entry was taken inside
+		// compileMiss (fpShare/fpPublish), exactly once per cached entry.
+		sh.cache[key] = seqEntry{fp: res.fp, ok: res.ok}
 	}
 	delete(sh.inflight, key)
 	sh.mu.Unlock()
@@ -270,19 +433,31 @@ func (p *Program) compile(seq []int) compileResult {
 	return res
 }
 
-// compileMiss does the uncached work — build the optimized IR, profile it —
-// outside any shard lock, so misses on different sequences run in parallel.
+// compileMiss does the uncached work — build the optimized IR, then either
+// share an existing profile by fingerprint or physically profile — outside
+// any shard lock, so misses on different sequences run in parallel.
 func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheable bool) {
 	p.cfgMu.RLock()
 	defer p.cfgMu.RUnlock()
 	p.samples.Add(1)
-	p.compiles.Add(1)
-	m := p.buildIR(seq, key, p.sanitize)
-	if p.sanitize && p.flaggedBad(key) {
+	m, fp, irOK := p.buildIR(seq, key, p.sanitize)
+	if !irOK {
 		// The sanitizer flagged this sequence: fail the compile loudly
 		// rather than profiling a miscompiled module.
 		return compileResult{}, true
 	}
+	if !p.sanitize {
+		// Fingerprint fast path: another sequence already reached this exact
+		// IR, so its profile (and feature vector) carry over wholesale.
+		if cyc, area, ok := p.fpShare(fp); ok {
+			p.fpHits.Add(1)
+			res = compileResult{cycles: cyc, area: area,
+				feats: p.featMemo.Extract(m, fp), fp: fp, ok: true}
+			p.recordBest(cyc, seq)
+			return res, true
+		}
+	}
+	p.compiles.Add(1)
 	rep, err := p.profile(m)
 	if err != nil {
 		// Failed profiles (limit overruns, traps) are deliberately not
@@ -290,8 +465,16 @@ func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheab
 		// must be re-evaluated — and re-counted as a sample — on every query.
 		return compileResult{}, false
 	}
+	if p.sanitize {
+		// Differential mode never takes the fingerprint shortcut; instead it
+		// cross-checks the store against every recompute-from-scratch.
+		if cyc, area, ok := p.fpPeek(fp); ok && (cyc != rep.Cycles || area != int64(rep.AreaLUT)) {
+			p.fpMismatches.Add(1)
+		}
+	}
+	p.fpPublish(fp, rep.Cycles, int64(rep.AreaLUT), true)
 	res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
-		feats: features.Extract(m), ok: true}
+		feats: p.featMemo.Extract(m, fp), fp: fp, ok: true}
 	p.recordBest(rep.Cycles, seq)
 	return res, true
 }
@@ -332,30 +515,38 @@ func (p *Program) flaggedBad(key string) bool {
 	return p.sanBad[key]
 }
 
-// buildIR produces the optimized module for seq, reusing the longest cached
-// prefix so that sequence extensions apply only the new suffix. Cached
-// modules are immutable once published, so the clone-and-apply work runs
-// outside the cache lock. Callers hold cfgMu for read and pass the
-// sanitize flag down to avoid re-acquiring it.
-func (p *Program) buildIR(seq []int, key string, sanitize bool) *ir.Module {
+// buildIR produces the optimized module for seq and its fingerprint,
+// reusing the longest cached prefix so that sequence extensions apply only
+// the new suffix. The suffix runs on a copy-on-write clone of the cached
+// base, so passes deep-copy only the functions they rewrite — and a suffix
+// that changes nothing reuses the base module and its fingerprint outright
+// (no clone, no re-hash, counted in NoopIR). Cached modules are immutable
+// once published, so the apply work runs outside the cache lock. Callers
+// hold cfgMu for read and pass the sanitize flag down to avoid
+// re-acquiring it. ok=false means the sanitizer flagged the sequence; the
+// returned module is the corrupted evidence and the fingerprint is zero.
+func (p *Program) buildIR(seq []int, key string, sanitize bool) (_ *ir.Module, _ ir.Fingerprint, ok bool) {
 	p.irMu.Lock()
-	if m, ok := p.irCache[key]; ok {
+	if e, hit := p.irCache[key]; hit {
 		p.irMu.Unlock()
-		return m
+		return e.m, e.fp, true
 	}
 	// Longest cached prefix (the empty prefix is the original program).
 	start := 0
-	var base *ir.Module = p.orig
+	base := irEntry{m: p.orig, fp: p.origFP}
 	for i := len(seq) - 1; i > 0; i-- {
-		if m, ok := p.irCache[key[:i]]; ok {
-			base, start = m, i
+		if e, hit := p.irCache[key[:2*i]]; hit {
+			base, start = e, i
 			break
 		}
 	}
 	p.irMu.Unlock()
 
-	m := base.Clone()
 	if sanitize {
+		// The sanitizer's verifiers renumber instructions and replay
+		// prefixes, so this path works on a deep clone, never shares, and
+		// always re-derives the fingerprint.
+		m := base.m.Clone()
 		pm := passes.NewManager()
 		pm.Sanitize = true
 		pm.Apply(m, seq[start:])
@@ -368,15 +559,26 @@ func (p *Program) buildIR(seq []int, key string, sanitize bool) *ir.Module {
 			p.sanMu.Unlock()
 			// Do not cache the corrupted module: extensions of this
 			// sequence must re-derive (and re-flag) from a clean prefix.
-			return m
+			return m, ir.Fingerprint{}, false
 		}
+		fp := m.Fingerprint()
+		p.irMu.Lock()
+		p.irCachePut(key, irEntry{m: m, fp: fp})
+		p.irMu.Unlock()
+		return m, fp, true
+	}
+
+	m, changed := passes.RunSequence(base.m, seq[start:])
+	fp := base.fp
+	if changed {
+		fp = m.Fingerprint()
 	} else {
-		passes.Apply(m, seq[start:])
+		p.noopIR.Add(1)
 	}
 	p.irMu.Lock()
-	p.irCachePut(key, m)
+	p.irCachePut(key, irEntry{m: m, fp: fp})
 	p.irMu.Unlock()
-	return m
+	return m, fp, true
 }
 
 // irCachePut inserts key into the bounded IR cache, evicting the oldest
@@ -384,7 +586,7 @@ func (p *Program) buildIR(seq []int, key string, sanitize bool) *ir.Module {
 // sequence a pass at a time, and evicting the active episode's own prefix
 // chain would force every subsequent step to recompile from scratch.
 // Callers hold irMu.
-func (p *Program) irCachePut(key string, m *ir.Module) {
+func (p *Program) irCachePut(key string, e irEntry) {
 	if _, ok := p.irCache[key]; !ok {
 		for len(p.irCache) >= irCacheCap {
 			victim := -1
@@ -405,7 +607,7 @@ func (p *Program) irCachePut(key string, m *ir.Module) {
 		}
 		p.irOrder = append(p.irOrder, key)
 	}
-	p.irCache[key] = m
+	p.irCache[key] = e
 }
 
 // BestCycles returns the best cycle count (and its sequence) observed by
@@ -437,14 +639,18 @@ func (p *Program) ResetSamples(dropCache bool) {
 		for i := range p.shards {
 			sh := &p.shards[i]
 			sh.mu.Lock()
-			sh.cache = make(map[string]compileResult)
-			sh.feats = nil
+			sh.cache = make(map[string]seqEntry)
 			sh.mu.Unlock()
 		}
 		p.irMu.Lock()
-		p.irCache = make(map[string]*ir.Module)
+		p.irCache = make(map[string]irEntry)
 		p.irOrder = nil
 		p.irMu.Unlock()
+		p.fpMu.Lock()
+		p.fpEntries = make(map[ir.Fingerprint]*fpEntry)
+		p.fpOrder = nil
+		p.fpMu.Unlock()
+		p.featMemo.Reset()
 	}
 }
 
@@ -455,7 +661,10 @@ func (p *Program) StaticProfiles() int { return int(p.staticHits.Load()) }
 
 // SetLimits replaces the interpreter limits used by subsequent profiles and
 // drops the memoized compile results, whose success verdicts depend on the
-// limits. The optimized-IR and feature caches are kept: IR does not.
+// limits: the sequence index is cleared and every fingerprint-store profile
+// verdict is invalidated (and unreferenced). The optimized-IR cache and the
+// fingerprint-keyed feature memo are kept: IR and features do not depend on
+// the limits.
 func (p *Program) SetLimits(lim interp.Limits) {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
@@ -463,9 +672,15 @@ func (p *Program) SetLimits(lim interp.Limits) {
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
-		sh.cache = make(map[string]compileResult)
+		sh.cache = make(map[string]seqEntry)
 		sh.mu.Unlock()
 	}
+	p.fpMu.Lock()
+	for _, e := range p.fpEntries {
+		e.hasProfile = false
+		e.refs = 0
+	}
+	p.fpMu.Unlock()
 }
 
 // SpeedupOverO3 converts a cycle count into the paper's headline metric:
@@ -623,24 +838,20 @@ func (p *Program) FeaturesAfter(seq []int) []int64 {
 	key := seqKey(seq)
 	sh := &p.shards[shardIndex(key)]
 	sh.mu.RLock()
-	if r, hit := sh.cache[key]; hit && r.ok {
-		sh.mu.RUnlock()
-		return r.feats
-	}
-	f, hit := sh.feats[key]
+	e, hit := sh.cache[key]
 	sh.mu.RUnlock()
-	if hit {
-		return f
+	if hit && e.ok {
+		if f := p.featMemo.Get(e.fp); f != nil {
+			return f
+		}
 	}
 	p.cfgMu.RLock()
-	m := p.buildIR(seq, key, p.sanitize)
+	m, fp, ok := p.buildIR(seq, key, p.sanitize)
 	p.cfgMu.RUnlock()
-	f = features.Extract(m)
-	sh.mu.Lock()
-	if sh.feats == nil {
-		sh.feats = make(map[string][]int64)
+	if !ok {
+		// Sanitizer-flagged sequence: observe the corrupted module without
+		// polluting the fingerprint-keyed memo.
+		return features.Extract(m)
 	}
-	sh.feats[key] = f
-	sh.mu.Unlock()
-	return f
+	return p.featMemo.Extract(m, fp)
 }

@@ -92,9 +92,15 @@ type EvalStats struct {
 	CacheHits  int64 // memoized answers (sum of ShardHits)
 	Merges     int64 // concurrent duplicate compiles folded by singleflight
 	StaticHits int64 // profiles answered by the SCEV static estimator
-	Batches    int64 // EvalBatch invocations
-	BatchWall  time.Duration
-	ShardHits  [cacheShards]int64 // cache hits per shard
+	FPHits     int64 // new sequences whose IR fingerprint matched an existing profile
+	NoopIR     int64 // pass suffixes that changed nothing (base module reused, no re-hash)
+	// FPMismatches counts sanitizer-mode recomputes that disagreed with the
+	// fingerprint store; nonzero means fingerprint sharing aliased distinct
+	// results and must be treated as a miscompilation signal.
+	FPMismatches int64
+	Batches      int64 // EvalBatch invocations
+	BatchWall    time.Duration
+	ShardHits    [cacheShards]int64 // cache hits per shard
 }
 
 // String renders the one-line form the CLI prints.
@@ -105,8 +111,11 @@ func (s EvalStats) String() string {
 			hot++
 		}
 	}
-	str := fmt.Sprintf("samples=%d compiles=%d cache-hits=%d (%d/%d shards) merges=%d static=%d",
-		s.Samples, s.Compiles, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits)
+	str := fmt.Sprintf("samples=%d compiles=%d fp-hits=%d noop-ir=%d cache-hits=%d (%d/%d shards) merges=%d static=%d",
+		s.Samples, s.Compiles, s.FPHits, s.NoopIR, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits)
+	if s.FPMismatches > 0 {
+		str += fmt.Sprintf(" FP-MISMATCHES=%d", s.FPMismatches)
+	}
 	if s.Batches > 0 {
 		str += fmt.Sprintf(" batches=%d batch-wall=%s", s.Batches,
 			s.BatchWall.Round(time.Millisecond))
@@ -118,11 +127,14 @@ func (s EvalStats) String() string {
 // per-batch numbers, which live on an Evaluator).
 func (p *Program) EvalStats() EvalStats {
 	s := EvalStats{
-		Samples:    p.samples.Load(),
-		Compiles:   p.compiles.Load(),
-		CacheHits:  p.cacheHits.Load(),
-		Merges:     p.merges.Load(),
-		StaticHits: p.staticHits.Load(),
+		Samples:      p.samples.Load(),
+		Compiles:     p.compiles.Load(),
+		CacheHits:    p.cacheHits.Load(),
+		Merges:       p.merges.Load(),
+		StaticHits:   p.staticHits.Load(),
+		FPHits:       p.fpHits.Load(),
+		NoopIR:       p.noopIR.Load(),
+		FPMismatches: p.fpMismatches.Load(),
 	}
 	for i := range p.shards {
 		s.ShardHits[i] = p.shards[i].hits.Load()

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"autophase/internal/hls"
+	"autophase/internal/interp"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+	"autophase/internal/search"
+)
+
+// TestSeqKeyWideIndices pins the two-byte sequence encoding: pass indices
+// that collide modulo 256 must key differently, and the byte-prefix ⟺
+// sequence-prefix equivalence the IR cache depends on must hold.
+func TestSeqKeyWideIndices(t *testing.T) {
+	if seqKey([]int{1, 2}) == seqKey([]int{257, 2}) {
+		t.Fatal("indices 1 and 257 alias under seqKey")
+	}
+	if seqKey([]int{0}) == seqKey([]int{256}) {
+		t.Fatal("indices 0 and 256 alias under seqKey")
+	}
+	seq := []int{38, 31, 300, 7, 45}
+	key := seqKey(seq)
+	if len(key) != 2*len(seq) {
+		t.Fatalf("key length %d, want %d", len(key), 2*len(seq))
+	}
+	for i := 0; i <= len(seq); i++ {
+		if seqKey(seq[:i]) != key[:2*i] {
+			t.Fatalf("prefix of length %d does not match key prefix", i)
+		}
+	}
+}
+
+// TestFingerprintCollisionBehaviour pins what happens when two modules hash
+// to the same fingerprint: the store treats them as equal and the second
+// sequence silently shares the first profile. The test fabricates the
+// "collision" by pre-publishing a sentinel profile under the fingerprint a
+// sequence is about to produce.
+func TestFingerprintCollisionBehaviour(t *testing.T) {
+	p := mustProgram(t, "matmul")
+	seq := []int{38, 31}
+	m := p.Module()
+	passes.Apply(m, seq)
+	fp := m.Fingerprint()
+
+	const sentinelCycles, sentinelArea = 123456789, 777
+	p.fpPublish(fp, sentinelCycles, sentinelArea, false)
+
+	cycles, area, ok := p.CompileArea(seq)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	if cycles != sentinelCycles || area != sentinelArea {
+		t.Fatalf("colliding sequence did not share the stored profile: got (%d,%d), want (%d,%d)",
+			cycles, area, sentinelCycles, sentinelArea)
+	}
+	st := p.EvalStats()
+	if st.FPHits != 1 || st.Compiles != 0 {
+		t.Fatalf("fp-hits=%d compiles=%d, want exactly one shared hit and no physical compile",
+			st.FPHits, st.Compiles)
+	}
+}
+
+// TestFingerprintStoreEviction pins the refcount discipline: over-cap
+// eviction removes only unreferenced entries, so no cached sequence-index
+// entry is ever orphaned, while unreferenced (seed) entries do get evicted.
+func TestFingerprintStoreEviction(t *testing.T) {
+	oldCap := fpStoreCap
+	fpStoreCap = 6
+	defer func() { fpStoreCap = oldCap }()
+
+	p := mustProgram(t, "gsm")
+	seqs := randSeqs(rand.New(rand.NewSource(21)), 10, 4)
+	type want struct {
+		cycles int64
+		ok     bool
+	}
+	wants := make([]want, len(seqs))
+	for i, s := range seqs {
+		c, _, ok := p.Compile(s)
+		wants[i] = want{c, ok}
+	}
+
+	// Flood the store with unreferenced fabricated entries to force
+	// evictions well past the cap.
+	for i := 0; i < 64; i++ {
+		p.fpPublish(ir.Fingerprint{Hi: 0xdead, Lo: uint64(i)}, 1, 1, false)
+	}
+
+	p.fpMu.Lock()
+	if len(p.fpEntries) != len(p.fpOrder) {
+		p.fpMu.Unlock()
+		t.Fatalf("fpOrder out of sync: %d vs %d", len(p.fpOrder), len(p.fpEntries))
+	}
+	referenced := 0
+	for _, e := range p.fpEntries {
+		if e.refs > 0 {
+			referenced++
+		}
+	}
+	total := len(p.fpEntries)
+	p.fpMu.Unlock()
+	if total > fpStoreCap+referenced {
+		t.Fatalf("store holds %d entries (%d referenced), cap %d: unreferenced entries not evicted",
+			total, referenced, fpStoreCap)
+	}
+
+	// Every cached sequence must still resolve without a single new sample:
+	// eviction never orphans the sequence index.
+	before := p.Samples()
+	for i, s := range seqs {
+		c, _, ok := p.Compile(s)
+		if c != wants[i].cycles || ok != wants[i].ok {
+			t.Fatalf("seq %v changed answer after eviction: (%d,%v) vs (%d,%v)",
+				s, c, ok, wants[i].cycles, wants[i].ok)
+		}
+	}
+	if extra := p.Samples() - before; extra != 0 {
+		t.Fatalf("%d cached sequences recompiled after eviction", extra)
+	}
+}
+
+// TestStaleSeqIndexRecovers drives the degenerate white-box state where a
+// sequence-index entry outlives its fingerprint-store record (fabricated by
+// clearing the store directly): the next Compile must fall through to a
+// clean recompute instead of returning garbage.
+func TestStaleSeqIndexRecovers(t *testing.T) {
+	p := mustProgram(t, "matmul")
+	seq := []int{38, 31, 30}
+	c1, _, ok := p.Compile(seq)
+	if !ok {
+		t.Fatal("compile failed")
+	}
+	p.fpMu.Lock()
+	p.fpEntries = make(map[ir.Fingerprint]*fpEntry)
+	p.fpOrder = nil
+	p.fpMu.Unlock()
+
+	c2, _, ok := p.Compile(seq)
+	if !ok || c2 != c1 {
+		t.Fatalf("stale index recompute: got (%d,%v), want (%d,true)", c2, ok, c1)
+	}
+}
+
+// TestFingerprintSharedMatchesFresh is the sharing differential: every
+// result served through the fingerprint store on a long-lived Program must
+// be identical to a fresh Program compiling the sequence from scratch, on
+// every benchmark, and hls.Recheck must reproduce the stored verdicts from
+// the optimized IR alone.
+func TestFingerprintSharedMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, name := range progen.BenchmarkNames {
+		shared := mustProgram(t, name)
+		pipelines := [][]int{
+			passes.O3Sequence[:10],
+			{2, 44, 2, 44}, // pure no-op pipeline: resolves to the O0 profile
+		}
+		pipelines = append(pipelines, randSeqs(rng, 3, 6)...)
+		// Duplicate each pipeline with a no-op suffix so fingerprint sharing
+		// actually triggers on every benchmark.
+		for _, s := range pipelines[:len(pipelines):len(pipelines)] {
+			pipelines = append(pipelines, append(append([]int(nil), s...), 2, 44))
+		}
+		for _, seq := range pipelines {
+			sc, sa, sok := shared.CompileArea(seq)
+			fresh := mustProgram(t, name)
+			fc, fa, fok := fresh.CompileArea(seq)
+			if sc != fc || sa != fa || sok != fok {
+				t.Fatalf("%s seq %v: shared (%d,%d,%v) != fresh (%d,%d,%v)",
+					name, seq, sc, sa, sok, fc, fa, fok)
+			}
+			if !reflect.DeepEqual(shared.FeaturesAfter(seq), fresh.FeaturesAfter(seq)) {
+				t.Fatalf("%s seq %v: shared features differ from fresh", name, seq)
+			}
+			if sok {
+				// Recompute-and-compare from the optimized IR alone.
+				m := fresh.Module()
+				passes.Apply(m, seq)
+				if err := hls.Recheck(m, hls.DefaultConfig, interp.DefaultLimits, sc, sa); err != nil {
+					t.Fatalf("%s seq %v: %v", name, seq, err)
+				}
+			}
+		}
+		if st := shared.EvalStats(); st.FPHits == 0 {
+			t.Fatalf("%s: no fingerprint sharing across %d pipelines", name, len(pipelines))
+		}
+	}
+}
+
+// TestSanitizedDifferentialAgreesWithShared runs the same workload through
+// a sanitized Program — which never takes the fingerprint shortcut and
+// cross-checks the store against every recompute — and requires zero
+// mismatches and zero sanitizer reports.
+func TestSanitizedDifferentialAgreesWithShared(t *testing.T) {
+	shared := mustProgram(t, "gsm")
+	san := mustProgram(t, "gsm")
+	san.EnableSanitizer()
+	rng := rand.New(rand.NewSource(33))
+	seqs := append(randSeqs(rng, 4, 5), passes.O3Sequence[:8], []int{2, 44})
+	for _, seq := range seqs {
+		sc, _, sok := shared.Compile(seq)
+		dc, _, dok := san.Compile(seq)
+		if sok != dok || (sok && sc != dc) {
+			t.Fatalf("seq %v: shared (%d,%v) vs sanitized (%d,%v)", seq, sc, sok, dc, dok)
+		}
+	}
+	if rep := san.SanitizerReport(); rep != nil {
+		t.Fatalf("sanitizer report on a clean workload:\n%v", rep)
+	}
+	if st := san.EvalStats(); st.FPMismatches != 0 {
+		t.Fatalf("fingerprint store disagreed with %d sanitized recomputes", st.FPMismatches)
+	}
+}
+
+// TestGeneticProfileSharing is the headline acceptance check: on a genetic
+// search, fingerprint sharing must answer at least as many distinct
+// sequences as physical profiling does — i.e. the physical profile count is
+// at most half of what the one-level cache (Compiles+FPHits) would have
+// paid.
+func TestGeneticProfileSharing(t *testing.T) {
+	p := mustProgram(t, "matmul")
+	obj := NewEvaluator(p, 1).Objective(8)
+	search.Genetic(obj, rand.New(rand.NewSource(9)), search.DefaultGA(), 120)
+	st := p.EvalStats()
+	if st.Compiles == 0 || st.FPHits == 0 {
+		t.Fatalf("degenerate run: compiles=%d fp-hits=%d", st.Compiles, st.FPHits)
+	}
+	if st.FPHits < st.Compiles {
+		t.Fatalf("fingerprint sharing below 2x: compiles=%d fp-hits=%d (one-level cache would pay %d)",
+			st.Compiles, st.FPHits, st.Compiles+st.FPHits)
+	}
+}

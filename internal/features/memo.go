@@ -1,0 +1,58 @@
+package features
+
+import (
+	"sync"
+
+	"autophase/internal/ir"
+)
+
+// Memo caches feature vectors by IR fingerprint. Extraction is a pure
+// function of the module structure, and the fingerprint is a structural
+// hash, so IR-equal modules — however many distinct pass sequences reach
+// them — share one extraction. The zero value is ready to use; all methods
+// are safe for concurrent callers. Returned slices are shared and must be
+// treated as immutable.
+type Memo struct {
+	mu sync.RWMutex
+	m  map[ir.Fingerprint][]int64
+}
+
+// Get returns the memoized vector for fp, or nil.
+func (mo *Memo) Get(fp ir.Fingerprint) []int64 {
+	mo.mu.RLock()
+	defer mo.mu.RUnlock()
+	return mo.m[fp]
+}
+
+// Extract returns the feature vector of m, memoized under fp: the first
+// call per fingerprint extracts, later calls return the stored vector.
+func (mo *Memo) Extract(m *ir.Module, fp ir.Fingerprint) []int64 {
+	if f := mo.Get(fp); f != nil {
+		return f
+	}
+	f := Extract(m)
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if prev, ok := mo.m[fp]; ok {
+		return prev // lost the race; keep the published vector
+	}
+	if mo.m == nil {
+		mo.m = make(map[ir.Fingerprint][]int64)
+	}
+	mo.m[fp] = f
+	return f
+}
+
+// Reset drops every memoized vector.
+func (mo *Memo) Reset() {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	mo.m = nil
+}
+
+// Len reports the number of distinct fingerprints memoized.
+func (mo *Memo) Len() int {
+	mo.mu.RLock()
+	defer mo.mu.RUnlock()
+	return len(mo.m)
+}

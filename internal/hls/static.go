@@ -196,6 +196,23 @@ func ProfileChecked(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error
 	return rep, nil
 }
 
+// Recheck profiles m from scratch on the fully cross-checked path and
+// errors when the result disagrees with the expected cycle count or area —
+// the differential probe for results shared between pass sequences by IR
+// fingerprint: the caller asserts that a stored (cycles, area) verdict is
+// exactly what recomputation yields.
+func Recheck(m *ir.Module, cfg Config, lim interp.Limits, wantCycles, wantArea int64) error {
+	rep, err := ProfileChecked(m, cfg, lim)
+	if err != nil {
+		return fmt.Errorf("hls recheck: %w", err)
+	}
+	if rep.Cycles != wantCycles || int64(rep.AreaLUT) != wantArea {
+		return fmt.Errorf("hls recheck: recomputed cycles %d / area %d, stored cycles %d / area %d",
+			rep.Cycles, rep.AreaLUT, wantCycles, wantArea)
+	}
+	return nil
+}
+
 // analyze returns f's memoized summary, failing on recursion.
 func (sa *staticAnalyzer) analyze(f *ir.Func, hints []analysis.Interval) (*funcStatic, bool) {
 	if fs, seen := sa.memo[f]; seen {

@@ -1,0 +1,165 @@
+package ir
+
+// Copy-on-write module cloning. A CloneCOW module starts by borrowing every
+// function and global from its parent; passes materialize (deep-copy) only
+// the functions they actually rewrite, via RunOwned or Materialize. Borrowed
+// functions must never be mutated — the parent is typically a published,
+// immutable cache entry read concurrently by other compiles. Globals are
+// borrowed forever: no pass mutates a *Global in place (they are only
+// removed from, or referenced by, the module), which keeps global sharing
+// free.
+//
+// The invariant a consumer (profiler, feature extractor, printer) needs is
+// that no instruction reachable from the module references a function that
+// was replaced in it. Owned functions are fixed up eagerly on every
+// replacement; still-borrowed functions that call a replaced function are
+// materialized by Seal, which pass pipelines run once at the end.
+
+type cowState struct {
+	shared map[*Func]bool  // borrowed from the parent; must not be mutated
+	remap  map[*Func]*Func // parent function -> owned replacement
+}
+
+// CloneCOW returns a copy-on-write clone of m: a new module sharing every
+// *Func and *Global with m. The parent must not be mutated afterwards (the
+// compile cache's published-modules-are-immutable contract). Fingerprints of
+// the clone and parent are equal until a pass changes the clone.
+func (m *Module) CloneCOW() *Module {
+	nm := &Module{
+		Name:    m.Name,
+		Funcs:   append([]*Func(nil), m.Funcs...),
+		Globals: append([]*Global(nil), m.Globals...),
+	}
+	shared := make(map[*Func]bool, len(m.Funcs))
+	for _, f := range m.Funcs {
+		shared[f] = true
+	}
+	nm.cow = &cowState{shared: shared}
+	return nm
+}
+
+// IsShared reports whether f is still borrowed from the parent module and
+// must not be mutated through m.
+func (m *Module) IsShared(f *Func) bool { return m.cow != nil && m.cow.shared[f] }
+
+// cowClone deep-copies the borrowed function f for m, rerouting calls
+// through every replacement recorded so far (including f itself, so direct
+// recursion targets the clone).
+func (m *Module) cowClone(f *Func) *Func {
+	nf := &Func{Name: f.Name, Ret: f.Ret, Attrs: f.Attrs, module: m}
+	for _, p := range f.Params {
+		nf.Params = append(nf.Params, &Param{Name: p.Name, Ty: p.Ty, Parent: nf, Index: p.Index})
+	}
+	fmap := make(map[*Func]*Func, len(m.cow.remap)+1)
+	for o, n := range m.cow.remap {
+		fmap[o] = n
+	}
+	fmap[f] = nf
+	cloneFuncInto(f, nf, fmap, nil)
+	return nf
+}
+
+// install replaces borrowed old with owned nf in the function list, records
+// the remapping, and reroutes calls to old inside every already-owned
+// function (they may have been cloned before old was replaced).
+func (m *Module) install(old, nf *Func) {
+	for i, x := range m.Funcs {
+		if x == old {
+			m.Funcs[i] = nf
+			break
+		}
+	}
+	delete(m.cow.shared, old)
+	if m.cow.remap == nil {
+		m.cow.remap = make(map[*Func]*Func)
+	}
+	m.cow.remap[old] = nf
+	for _, g := range m.Funcs {
+		if g == nf || m.cow.shared[g] {
+			continue
+		}
+		for _, b := range g.Blocks {
+			for _, in := range b.Instrs {
+				if in.Callee == old {
+					in.Callee = nf
+				}
+			}
+		}
+	}
+}
+
+// Materialize ensures f is owned by m, deep-copying it if it is still
+// borrowed, and returns the owned function (f itself when already owned).
+func (m *Module) Materialize(f *Func) *Func {
+	if !m.IsShared(f) {
+		return f
+	}
+	nf := m.cowClone(f)
+	m.install(f, nf)
+	return nf
+}
+
+// MaterializeAll takes ownership of every function, after which the module
+// behaves exactly like a deep clone (module passes that walk or rewrite
+// arbitrary functions run on a fully materialized module).
+func (m *Module) MaterializeAll() {
+	if m.cow == nil {
+		return
+	}
+	for _, f := range append([]*Func(nil), m.Funcs...) {
+		m.Materialize(f)
+	}
+	m.cow = nil
+}
+
+// RunOwned applies fn to f with copy-on-write semantics: an owned f is
+// transformed in place; a borrowed f is transformed on a scratch deep copy
+// that is installed only when fn reports a change, leaving the parent
+// untouched and the clone cost unpaid for no-op runs. fn must return true
+// whenever it mutated the function (the pass changed-reporting contract).
+func (m *Module) RunOwned(f *Func, fn func(*Func) bool) bool {
+	if !m.IsShared(f) {
+		return fn(f)
+	}
+	nf := m.cowClone(f)
+	if !fn(nf) {
+		return false
+	}
+	m.install(f, nf)
+	return true
+}
+
+// Seal restores the no-dangling-callee invariant after a pass pipeline:
+// every still-borrowed function that calls a replaced function is
+// materialized (which reroutes the call), repeating until settled. Cheap
+// when nothing was replaced. Idempotent.
+func (m *Module) Seal() {
+	if m.cow == nil || len(m.cow.remap) == 0 {
+		return
+	}
+	for again := true; again; {
+		again = false
+		for _, f := range m.Funcs {
+			if !m.cow.shared[f] || !m.refsReplaced(f) {
+				continue
+			}
+			m.Materialize(f)
+			again = true
+		}
+	}
+}
+
+// refsReplaced reports whether f calls a function that was replaced in m.
+func (m *Module) refsReplaced(f *Func) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Callee == nil {
+				continue
+			}
+			if _, ok := m.cow.remap[in.Callee]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}

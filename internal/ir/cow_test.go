@@ -1,0 +1,139 @@
+package ir_test
+
+import (
+	"testing"
+
+	"autophase/internal/ir"
+	"autophase/internal/progen"
+)
+
+func TestCloneCOWSharesEverythingInitially(t *testing.T) {
+	parent := progen.Benchmark("gsm")
+	before := parent.String()
+	fp := parent.Fingerprint()
+
+	m := parent.Clone()
+	cow := m.CloneCOW()
+	for i, f := range cow.Funcs {
+		if f != m.Funcs[i] {
+			t.Fatalf("func %d not shared by pointer", i)
+		}
+		if !cow.IsShared(f) {
+			t.Fatalf("func %s not marked shared", f.Name)
+		}
+	}
+	for i, g := range cow.Globals {
+		if g != m.Globals[i] {
+			t.Fatalf("global %d not shared by pointer", i)
+		}
+	}
+	if got := cow.Fingerprint(); got != fp {
+		t.Fatalf("COW fingerprint %s != parent %s", got, fp)
+	}
+	if parent.String() != before {
+		t.Fatal("cloning mutated the parent")
+	}
+}
+
+func TestRunOwnedInstallsOnlyOnChange(t *testing.T) {
+	m := progen.Benchmark("matmul")
+	cow := m.CloneCOW()
+	target := cow.Funcs[0]
+
+	// A no-op run must not take ownership (no clone installed).
+	if changed := cow.RunOwned(target, func(f *ir.Func) bool { return false }); changed {
+		t.Fatal("no-op run reported change")
+	}
+	if !cow.IsShared(target) {
+		t.Fatal("no-op run took ownership")
+	}
+	if cow.Funcs[0] != target {
+		t.Fatal("no-op run replaced the function")
+	}
+
+	// A mutating run must install an owned clone and leave the parent alone.
+	parentBefore := m.String()
+	var owned *ir.Func
+	changed := cow.RunOwned(target, func(f *ir.Func) bool {
+		owned = f
+		b := f.Blocks[0]
+		b.Prepend(&ir.Instr{Op: ir.OpAlloca, Ty: ir.PointerTo(ir.I32), AllocTy: ir.I32})
+		return true
+	})
+	if !changed {
+		t.Fatal("mutating run reported no change")
+	}
+	if owned == target {
+		t.Fatal("mutating run worked on the shared function itself")
+	}
+	if cow.Funcs[0] != owned || cow.IsShared(owned) {
+		t.Fatal("owned clone not installed")
+	}
+	if m.String() != parentBefore {
+		t.Fatal("mutating the COW module changed the parent")
+	}
+	if cow.Fingerprint() == m.Fingerprint() {
+		t.Fatal("mutation did not change the fingerprint")
+	}
+}
+
+// TestSealReroutesStaleCallees replaces a callee through RunOwned and checks
+// Seal leaves no instruction referencing a function outside the module.
+func TestSealReroutesStaleCallees(t *testing.T) {
+	for _, name := range progen.BenchmarkNames {
+		m := progen.Benchmark(name)
+		cow := m.CloneCOW()
+		replaced := 0
+		for _, f := range append([]*ir.Func(nil), cow.Funcs...) {
+			if f.Name == "main" {
+				continue
+			}
+			if cow.RunOwned(f, func(nf *ir.Func) bool {
+				nf.Blocks[0].Prepend(&ir.Instr{Op: ir.OpAlloca,
+					Ty: ir.PointerTo(ir.I32), AllocTy: ir.I32})
+				return true
+			}) {
+				replaced++
+			}
+		}
+		if replaced == 0 {
+			continue // single-function benchmark; nothing to reroute
+		}
+		cow.Seal()
+		in := make(map[*ir.Func]bool, len(cow.Funcs))
+		for _, f := range cow.Funcs {
+			in[f] = true
+		}
+		for _, f := range cow.Funcs {
+			for _, b := range f.Blocks {
+				for _, i := range b.Instrs {
+					if i.Callee != nil && !in[i.Callee] {
+						t.Fatalf("%s: %s calls a function no longer in the module", name, f.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeAllBehavesLikeDeepClone(t *testing.T) {
+	m := progen.Benchmark("qsort")
+	want := m.String()
+
+	cow := m.CloneCOW()
+	cow.MaterializeAll()
+	for _, f := range cow.Funcs {
+		if cow.IsShared(f) {
+			t.Fatalf("%s still shared after MaterializeAll", f.Name)
+		}
+	}
+	if got := cow.String(); got != want {
+		t.Fatalf("materialized module prints differently:\n%s", got)
+	}
+	// Mutating the materialized module must not leak into the parent.
+	cow.Funcs[0].Blocks[0].Prepend(&ir.Instr{Op: ir.OpAlloca,
+		Ty: ir.PointerTo(ir.I32), AllocTy: ir.I32})
+	if m.String() != want {
+		t.Fatal("mutation after MaterializeAll reached the parent")
+	}
+}

@@ -1,0 +1,147 @@
+package ir_test
+
+import (
+	"testing"
+
+	"autophase/internal/ir"
+	"autophase/internal/progen"
+)
+
+// renameEverything rewrites every local value, block, parameter and global
+// name in place — the symbol information the fingerprint must ignore.
+func renameEverything(m *ir.Module) {
+	for gi, g := range m.Globals {
+		g.Name = g.Name + "_renamed"
+		_ = gi
+	}
+	for _, f := range m.Funcs {
+		for _, p := range f.Params {
+			p.Name = "p_" + p.Name
+		}
+		for bi, b := range f.Blocks {
+			b.Name = "bb_renamed"
+			_ = bi
+			for _, in := range b.Instrs {
+				in.Name = "v_" + in.Name
+			}
+		}
+	}
+}
+
+func TestFingerprintIgnoresValueNames(t *testing.T) {
+	for _, b := range progen.Benchmarks() {
+		m := b.Clone()
+		before := m.Fingerprint()
+		renameEverything(m)
+		if after := m.Fingerprint(); after != before {
+			t.Fatalf("%s: renaming locals changed the fingerprint: %s -> %s",
+				m.Name, before, after)
+		}
+	}
+}
+
+func TestFingerprintCloneAndDeterminism(t *testing.T) {
+	for _, b := range progen.Benchmarks() {
+		m := b.Clone()
+		fp := m.Fingerprint()
+		if fp.IsZero() {
+			t.Fatalf("%s: zero fingerprint", m.Name)
+		}
+		if again := m.Fingerprint(); again != fp {
+			t.Fatalf("%s: fingerprint not deterministic: %s vs %s", m.Name, fp, again)
+		}
+		if cfp := m.Clone().Fingerprint(); cfp != fp {
+			t.Fatalf("%s: clone fingerprint %s != original %s", m.Name, cfp, fp)
+		}
+	}
+	seen := make(map[ir.Fingerprint]string)
+	for _, b := range progen.Benchmarks() {
+		fp := b.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("benchmarks %s and %s share fingerprint %s", prev, b.Name, fp)
+		}
+		seen[fp] = b.Name
+	}
+}
+
+// buildTiny returns a two-function module with a call, a branch and a
+// global — one of each structural element the sensitivity probes mutate.
+func buildTiny() *ir.Module {
+	m := ir.NewModule("tiny")
+	g := m.NewGlobal("tab", ir.ArrayOf(ir.I32, 4), []int64{1, 2, 3, 4}, true)
+	callee := m.NewFunc("helper", ir.I32, ir.I32)
+	cb := callee.NewBlock("entry")
+	add := cb.Append(&ir.Instr{Op: ir.OpAdd, Ty: ir.I32,
+		Args: []ir.Value{callee.Params[0], ir.ConstInt(ir.I32, 7)}})
+	cb.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{add}})
+
+	main := m.NewFunc("main", ir.I32)
+	b0 := main.NewBlock("entry")
+	b1 := main.NewBlock("exit")
+	c := b0.Append(&ir.Instr{Op: ir.OpCall, Ty: ir.I32, Callee: callee,
+		Args: []ir.Value{ir.ConstInt(ir.I32, 5)}})
+	gep := b0.Append(&ir.Instr{Op: ir.OpGEP, Ty: ir.PointerTo(ir.I32),
+		Args: []ir.Value{g, ir.ConstInt(ir.I32, 1)}})
+	ld := b0.Append(&ir.Instr{Op: ir.OpLoad, Ty: ir.I32, Args: []ir.Value{gep}})
+	b0.Append(&ir.Instr{Op: ir.OpBr, Blocks: []*ir.Block{b1}})
+	sum := b1.Append(&ir.Instr{Op: ir.OpAdd, Ty: ir.I32, Args: []ir.Value{c, ld}})
+	b1.Append(&ir.Instr{Op: ir.OpRet, Args: []ir.Value{sum}})
+	return m
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := buildTiny().Fingerprint()
+	mutations := []struct {
+		name string
+		mut  func(*ir.Module)
+	}{
+		{"func name", func(m *ir.Module) { m.Funcs[0].Name = "helper2" }},
+		{"stripped attr", func(m *ir.Module) { m.Funcs[0].Attrs.Stripped = true }},
+		{"readonly attr", func(m *ir.Module) { m.Funcs[0].Attrs.ReadOnly = true }},
+		{"const value", func(m *ir.Module) {
+			in := m.Funcs[0].Blocks[0].Instrs[0]
+			in.Args[1] = ir.ConstInt(ir.I32, 8)
+		}},
+		{"global init", func(m *ir.Module) { m.Globals[0].Init[2] = 99 }},
+		{"global readonly", func(m *ir.Module) { m.Globals[0].ReadOnly = false }},
+		{"opcode", func(m *ir.Module) { m.Funcs[0].Blocks[0].Instrs[0].Op = ir.OpSub }},
+		{"instr order", func(m *ir.Module) {
+			ins := m.Funcs[1].Blocks[0].Instrs
+			ins[1], ins[2] = ins[2], ins[1]
+		}},
+		{"branch weight", func(m *ir.Module) {
+			m.Funcs[1].Blocks[0].Term().BranchWeight = 3
+		}},
+		{"drop instr", func(m *ir.Module) {
+			b := m.Funcs[1].Blocks[1]
+			b.Remove(b.Instrs[0])
+		}},
+	}
+	seen := map[ir.Fingerprint]string{base: "base"}
+	for _, mu := range mutations {
+		m := buildTiny()
+		mu.mut(m)
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collided with %q (fingerprint %s)", mu.name, prev, fp)
+		}
+		seen[fp] = mu.name
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	bs := progen.Benchmarks()
+	var total int
+	for _, m := range bs {
+		total += m.NumInstrs()
+	}
+	b.ReportMetric(float64(total), "instrs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, m := range bs {
+			if m.Fingerprint().IsZero() {
+				b.Fatal("zero fingerprint")
+			}
+		}
+	}
+}

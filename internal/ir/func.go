@@ -174,6 +174,12 @@ type Module struct {
 	Name    string
 	Funcs   []*Func
 	Globals []*Global
+
+	// cow tracks copy-on-write state for modules created by CloneCOW: which
+	// functions are still borrowed from the parent module (and must not be
+	// mutated), and which parent functions have been replaced by owned
+	// clones. nil on wholly-owned modules.
+	cow *cowState
 }
 
 // NewModule returns an empty module.

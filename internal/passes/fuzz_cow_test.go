@@ -1,0 +1,75 @@
+package passes_test
+
+import (
+	"testing"
+
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// FuzzCloneCOW cross-checks the copy-on-write pipeline against the deep
+// clone it replaces: for fuzzer-chosen pass orderings, RunSequence on a COW
+// clone must print the same IR and hash to the same fingerprint as
+// Clone+Apply, the base module must come back byte-identical, and a run
+// reported unchanged must return the base itself at the base's fingerprint
+// — the equality contract the two-level compile cache relies on.
+func FuzzCloneCOW(f *testing.F) {
+	f.Add(int64(1), []byte{38, 31, 30})        // mem2reg, simplifycfg, instcombine
+	f.Add(int64(0), []byte{2, 44, 2})          // all no-ops: base reuse path
+	f.Add(int64(7), []byte{25, 42, 19, 35})    // inline, deadargelim, functionattrs, tailcallelim
+	f.Add(int64(-9), []byte{3, 4, 34, 9, 22})  // strip, strip-nondebug, lower-expect, globaldce, constmerge
+	f.Add(int64(13), []byte{43, 7, 32, 28, 6}) // sroa, gvn, dse, adce, globalopt
+	f.Fuzz(func(t *testing.T, seed int64, raw []byte) {
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		var base *ir.Module
+		if seed%4 == 0 {
+			bs := progen.Benchmarks()
+			base = bs[int(uint64(seed)%uint64(len(bs)))].Clone()
+		} else {
+			base = progen.Generate(seed, progen.DefaultGen)
+		}
+		seq := make([]int, 0, len(raw))
+		for _, b := range raw {
+			idx := int(b) % passes.NumActions
+			if idx == passes.TerminateIndex {
+				continue
+			}
+			seq = append(seq, idx)
+		}
+
+		baseFP := base.Fingerprint()
+		basePrint := base.String()
+
+		deep := base.Clone()
+		deepChanged := passes.Apply(deep, seq)
+
+		got, changed := passes.RunSequence(base, seq)
+
+		if base.String() != basePrint {
+			t.Fatal("RunSequence mutated the base module")
+		}
+		if base.Fingerprint() != baseFP {
+			t.Fatal("RunSequence changed the base fingerprint")
+		}
+		if changed != deepChanged {
+			t.Fatalf("changed=%v via COW, %v via deep clone (seq %v)", changed, deepChanged, seq)
+		}
+		if !changed && got != base {
+			t.Fatal("unchanged run did not return the base module itself")
+		}
+		if gp, dp := got.String(), deep.String(); gp != dp {
+			t.Fatalf("COW and deep-clone results diverge for seq %v:\n--- cow ---\n%s\n--- deep ---\n%s",
+				seq, gp, dp)
+		}
+		gf, df := got.Fingerprint(), deep.Fingerprint()
+		if gf != df {
+			t.Fatalf("print-equal modules hash differently: %s vs %s (seq %v)", gf, df, seq)
+		}
+		if !changed && gf != baseFP {
+			t.Fatalf("no-op run fingerprint %s != base %s", gf, baseFP)
+		}
+	})
+}

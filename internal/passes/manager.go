@@ -57,6 +57,11 @@ func (pm *Manager) Apply(m *ir.Module, sequence []int) bool {
 func (pm *Manager) ApplyPasses(m *ir.Module, ps []Pass) bool {
 	var orig *ir.Module
 	var applied []Pass
+	if pm.Sanitize || pm.VerifyEach {
+		// The verifiers renumber instruction ids in place, which must never
+		// happen to functions still borrowed by a copy-on-write module.
+		m.MaterializeAll()
+	}
 	if pm.Sanitize && pm.sanReport == nil {
 		// The sanitizer replays the failing prefix against the pristine
 		// input to minimize it, so keep a copy before the first mutation.

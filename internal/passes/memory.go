@@ -47,6 +47,7 @@ func dse(f *ir.Func) bool {
 					}
 					if f.UseCount(u) == 0 {
 						u.Parent().Remove(u)
+						changed = true
 					}
 				case ir.OpMemset:
 					u.Parent().Remove(u)
@@ -55,6 +56,7 @@ func dse(f *ir.Func) bool {
 			}
 			if f.UseCount(in) == 0 {
 				b.Remove(in)
+				changed = true
 			}
 		}
 	}

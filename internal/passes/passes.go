@@ -19,14 +19,21 @@ import (
 type Pass interface {
 	// Name returns the LLVM-style flag name, e.g. "-mem2reg".
 	Name() string
-	// Run applies the pass, reporting whether anything changed.
+	// Run applies the pass, reporting whether anything changed. The report
+	// is a contract, not a hint: Run must return true whenever it mutated
+	// the module, because the engine reuses the input module (and its
+	// fingerprint) outright for runs reported unchanged.
 	Run(m *ir.Module) bool
 }
 
-// funcPass adapts a per-function transformation into a Pass.
+// funcPass adapts a per-function transformation into a Pass. The optional
+// scan is a read-only no-op predicate: scan(f)==false guarantees run(f)
+// would return false without mutating f, letting Run skip the function —
+// and, on copy-on-write modules, skip the scratch clone — entirely.
 type funcPass struct {
 	name string
 	run  func(*ir.Func) bool
+	scan func(*ir.Func) bool
 }
 
 func (p funcPass) Name() string { return p.name }
@@ -34,22 +41,35 @@ func (p funcPass) Name() string { return p.name }
 func (p funcPass) Run(m *ir.Module) bool {
 	changed := false
 	for _, f := range m.Funcs {
-		if p.run(f) {
+		if p.scan != nil && !p.scan(f) {
+			continue
+		}
+		if m.RunOwned(f, p.run) {
 			changed = true
 		}
 	}
 	return changed
 }
 
-// modPass adapts a whole-module transformation into a Pass.
+// modPass adapts a whole-module transformation into a Pass. Module passes
+// walk and rewrite arbitrary functions, so on a copy-on-write module the
+// whole module is materialized first — unless the optional read-only scan
+// proves the run would be a no-op.
 type modPass struct {
 	name string
 	run  func(*ir.Module) bool
+	scan func(*ir.Module) bool
 }
 
 func (p modPass) Name() string { return p.name }
 
-func (p modPass) Run(m *ir.Module) bool { return p.run(m) }
+func (p modPass) Run(m *ir.Module) bool {
+	if p.scan != nil && !p.scan(m) {
+		return false
+	}
+	m.MaterializeAll()
+	return p.run(m)
+}
 
 // NumPasses is the number of Table 1 entries (indices 0–45; index 45,
 // -terminate, is the episode-ending sentinel).
@@ -80,99 +100,102 @@ var Table1Names = [NumPasses]string{
 }
 
 // ByIndex constructs the pass at the given Table 1 index. -terminate is the
-// identity.
+// identity. Passes whose no-op condition is decidable by a cheap read-only
+// scan carry one (see scan.go); every scan must be sound — scan false means
+// the pass provably would not change the module.
 func ByIndex(i int) Pass {
 	switch i {
 	case 0:
-		return funcPass{"-correlated-propagation", correlatedPropagation}
+		return funcPass{name: "-correlated-propagation", run: correlatedPropagation}
 	case 1:
-		return funcPass{"-scalarrepl", scalarRepl}
+		return funcPass{name: "-scalarrepl", run: scalarRepl, scan: hasAlloca}
 	case 2:
-		return funcPass{"-lowerinvoke", lowerInvoke}
+		return funcPass{name: "-lowerinvoke", run: lowerInvoke, scan: scanNever}
 	case 3:
-		return modPass{"-strip", strip}
+		return modPass{name: "-strip", run: strip, scan: scanStrip}
 	case 4:
-		return modPass{"-strip-nondebug", stripNonDebug}
+		return modPass{name: "-strip-nondebug", run: stripNonDebug, scan: scanNamedBlocks}
 	case 5:
-		return funcPass{"-sccp", sccp}
+		return funcPass{name: "-sccp", run: sccp}
 	case 6:
-		return modPass{"-globalopt", globalOpt}
+		return modPass{name: "-globalopt", run: globalOpt}
 	case 7:
-		return funcPass{"-gvn", gvn}
+		return funcPass{name: "-gvn", run: gvn}
 	case 8:
-		return funcPass{"-jump-threading", jumpThreading}
+		return funcPass{name: "-jump-threading", run: jumpThreading}
 	case 9:
-		return modPass{"-globaldce", globalDCE}
+		return modPass{name: "-globaldce", run: globalDCE}
 	case 10:
-		return funcPass{"-loop-unswitch", loopUnswitch}
+		return funcPass{name: "-loop-unswitch", run: loopUnswitch}
 	case 11:
-		return funcPass{"-scalarrepl-ssa", scalarReplSSA}
+		return funcPass{name: "-scalarrepl-ssa", run: scalarReplSSA, scan: hasAlloca}
 	case 12:
-		return funcPass{"-loop-reduce", loopReduce}
+		return funcPass{name: "-loop-reduce", run: loopReduce}
 	case 13:
-		return funcPass{"-break-crit-edges", breakCritEdges}
+		return funcPass{name: "-break-crit-edges", run: breakCritEdges, scan: hasCriticalEdge}
 	case 14:
-		return funcPass{"-loop-deletion", loopDeletion}
+		return funcPass{name: "-loop-deletion", run: loopDeletion}
 	case 15:
-		return funcPass{"-reassociate", reassociate}
+		return funcPass{name: "-reassociate", run: reassociate}
 	case 16:
-		return funcPass{"-lcssa", lcssa}
+		return funcPass{name: "-lcssa", run: lcssa}
 	case 17:
-		return funcPass{"-codegenprepare", codegenPrepare}
+		return funcPass{name: "-codegenprepare", run: codegenPrepare}
 	case 18:
-		return funcPass{"-memcpyopt", memcpyOpt}
+		return funcPass{name: "-memcpyopt", run: memcpyOpt, scan: hasStore}
 	case 19, 40:
-		return modPass{"-functionattrs", functionAttrs}
+		return modPass{name: "-functionattrs", run: functionAttrs, scan: scanFunctionAttrs}
 	case 20:
-		return funcPass{"-loop-idiom", loopIdiom}
+		return funcPass{name: "-loop-idiom", run: loopIdiom}
 	case 21:
-		return funcPass{"-lowerswitch", lowerSwitch}
+		return funcPass{name: "-lowerswitch", run: lowerSwitch, scan: hasSwitch}
 	case 22:
-		return modPass{"-constmerge", constMerge}
+		return modPass{name: "-constmerge", run: constMerge, scan: scanConstMerge}
 	case 23:
-		return funcPass{"-loop-rotate", loopRotate}
+		return funcPass{name: "-loop-rotate", run: loopRotate}
 	case 24:
-		return modPass{"-partial-inliner", partialInliner}
+		return modPass{name: "-partial-inliner", run: partialInliner, scan: scanAnyCall}
 	case 25:
-		return modPass{"-inline", inline}
+		return modPass{name: "-inline", run: inline, scan: scanAnyCall}
 	case 26:
-		return funcPass{"-early-cse", earlyCSE}
+		return funcPass{name: "-early-cse", run: earlyCSE}
 	case 27:
-		return funcPass{"-indvars", indvars}
+		return funcPass{name: "-indvars", run: indvars}
 	case 28:
-		return funcPass{"-adce", adce}
+		return funcPass{name: "-adce", run: adce}
 	case 29:
-		return funcPass{"-loop-simplify", loopSimplify}
+		return funcPass{name: "-loop-simplify", run: loopSimplify}
 	case 30:
-		return funcPass{"-instcombine", instCombine}
+		return funcPass{name: "-instcombine", run: instCombine}
 	case 31:
-		return funcPass{"-simplifycfg", simplifyCFG}
+		return funcPass{name: "-simplifycfg", run: simplifyCFG}
 	case 32:
-		return funcPass{"-dse", dse}
+		return funcPass{name: "-dse", run: dse, scan: hasStoreOrMemset}
 	case 33:
-		return funcPass{"-loop-unroll", loopUnroll}
+		return funcPass{name: "-loop-unroll", run: loopUnroll}
 	case 34:
-		return funcPass{"-lower-expect", lowerExpect}
+		return funcPass{name: "-lower-expect", run: lowerExpect, scan: hasBranchWeight}
 	case 35:
-		return funcPass{"-tailcallelim", tailCallElim}
+		return funcPass{name: "-tailcallelim", run: tailCallElim, scan: hasSelfCall}
 	case 36:
-		return funcPass{"-licm", licm}
+		return funcPass{name: "-licm", run: licm}
 	case 37:
-		return funcPass{"-sink", sink}
+		return funcPass{name: "-sink", run: sink}
 	case 38:
-		return funcPass{"-mem2reg", mem2reg}
+		return funcPass{name: "-mem2reg", run: mem2reg, scan: hasAlloca}
 	case 39:
-		return funcPass{"-prune-eh", pruneEH}
+		return funcPass{name: "-prune-eh", run: pruneEH, scan: hasUnreachableBlock}
 	case 41:
-		return modPass{"-ipsccp", ipsccp}
+		return modPass{name: "-ipsccp", run: ipsccp}
 	case 42:
-		return modPass{"-deadargelim", deadArgElim}
+		return modPass{name: "-deadargelim", run: deadArgElim, scan: scanDeadArgElim}
 	case 43:
-		return funcPass{"-sroa", sroa}
+		return funcPass{name: "-sroa", run: sroa}
 	case 44:
-		return funcPass{"-loweratomic", lowerAtomic}
+		return funcPass{name: "-loweratomic", run: lowerAtomic, scan: scanNever}
 	case 45:
-		return modPass{"-terminate", func(*ir.Module) bool { return false }}
+		return modPass{name: "-terminate", run: func(*ir.Module) bool { return false },
+			scan: func(*ir.Module) bool { return false }}
 	default:
 		panic(fmt.Sprintf("passes: invalid index %d", i))
 	}
@@ -208,6 +231,22 @@ func Apply(m *ir.Module, sequence []int) bool {
 		}
 	}
 	return changed
+}
+
+// RunSequence applies the sequence to a copy-on-write clone of base,
+// returning the resulting module and whether any pass changed it. When
+// nothing changed the returned module IS base — callers sharing modules
+// through a cache reuse the parent's entry (and its fingerprint) without
+// paying for a clone or a re-hash. When something changed, the result is
+// sealed (no instruction references a function replaced during the run) and
+// base is untouched.
+func RunSequence(base *ir.Module, sequence []int) (*ir.Module, bool) {
+	m := base.CloneCOW()
+	if !Apply(m, sequence) {
+		return base, false
+	}
+	m.Seal()
+	return m, true
 }
 
 // O3Sequence is the reference -O3 pipeline: a hand-picked ordering in the

@@ -41,14 +41,28 @@ const (
 // combineOne returns a simpler replacement value for in (combineReplaced),
 // or rewrites it in place (combineMutated).
 func combineOne(f *ir.Func, in *ir.Instr) (ir.Value, combineStatus) {
-	// Canonicalize: constants to the right of commutative ops.
+	// Canonicalize: constants to the right of commutative ops. The swap is a
+	// mutation in its own right and must be reported even when no folding
+	// rule fires afterwards.
+	canon := false
 	if in.Op.IsBinary() && in.Op.IsCommutative() {
 		if _, lc := ir.IsConst(in.Args[0]); lc {
 			if _, rc := ir.IsConst(in.Args[1]); !rc {
 				in.Args[0], in.Args[1] = in.Args[1], in.Args[0]
+				canon = true
 			}
 		}
 	}
+	v, st := combineRules(f, in)
+	if st == combineNone && canon {
+		return nil, combineMutated
+	}
+	return v, st
+}
+
+// combineRules holds the per-opcode rewrite rules; combineOne wraps it with
+// the commutative canonicalization.
+func combineRules(f *ir.Func, in *ir.Instr) (ir.Value, combineStatus) {
 	x := func() ir.Value { return in.Args[0] }
 	zero := func() ir.Value { return ir.ConstInt(in.Ty, 0) }
 

@@ -1,0 +1,196 @@
+package passes
+
+import "autophase/internal/ir"
+
+// No-op prescans. Each predicate here is paired with a pass in ByIndex and
+// must be sound: returning false guarantees the pass would report no change
+// (and perform no mutation) on that function/module. A scan that is merely
+// "probably a no-op" is a correctness bug, because the engine reuses the
+// input module for runs reported unchanged. Scans are read-only so they are
+// safe on functions still borrowed by a copy-on-write module.
+
+// scanNever marks passes that are unconditional no-ops in this IR
+// (lowerinvoke, loweratomic: there are no invokes or atomics to lower).
+func scanNever(*ir.Func) bool { return false }
+
+func anyInstr(f *ir.Func, pred func(*ir.Instr) bool) bool {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if pred(in) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasAlloca gates mem2reg, scalarrepl and scalarrepl-ssa: every rewrite in
+// those passes starts from an alloca.
+func hasAlloca(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool { return in.Op == ir.OpAlloca })
+}
+
+// hasStore gates memcpyopt, whose only rewrites start from store
+// instructions (forming memsets or forwarding stored values).
+func hasStore(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool { return in.Op == ir.OpStore })
+}
+
+// hasStoreOrMemset gates dse: everything it deletes is a store, a memset,
+// or an address computation feeding only deleted stores.
+func hasStoreOrMemset(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool {
+		return in.Op == ir.OpStore || in.Op == ir.OpMemset
+	})
+}
+
+// hasSwitch gates lowerswitch.
+func hasSwitch(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool { return in.Op == ir.OpSwitch })
+}
+
+// hasBranchWeight gates lower-expect, which only clears branch weights.
+func hasBranchWeight(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool { return in.BranchWeight != 0 })
+}
+
+// hasSelfCall gates tailcallelim, which only rewrites directly
+// self-recursive tail calls.
+func hasSelfCall(f *ir.Func) bool {
+	return anyInstr(f, func(in *ir.Instr) bool {
+		return in.Op == ir.OpCall && in.Callee == f
+	})
+}
+
+// hasCriticalEdge gates break-crit-edges, which changes the function
+// exactly when a critical edge exists.
+func hasCriticalEdge(f *ir.Func) bool { return len(ir.CriticalEdges(f)) > 0 }
+
+// hasUnreachableBlock gates prune-eh, which (on this exception-free IR)
+// only removes entry-unreachable blocks.
+func hasUnreachableBlock(f *ir.Func) bool {
+	return len(f.ReachableBlocks()) < len(f.Blocks)
+}
+
+// scanStrip: -strip changes a module iff some function is not yet marked
+// Stripped (marking alone is a change).
+func scanStrip(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		if !f.Attrs.Stripped {
+			return true
+		}
+	}
+	return false
+}
+
+// scanNamedBlocks: -strip-nondebug changes a module iff a named block
+// remains.
+func scanNamedBlocks(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if b.Name != "" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanAnyCall gates the inliners: no call sites, nothing to inline (the
+// trailing dead-code sweep in -inline runs only after an inlining).
+func scanAnyCall(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		if anyInstr(f, func(in *ir.Instr) bool { return in.Op == ir.OpCall }) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanConstMerge: merging needs at least two read-only globals.
+func scanConstMerge(m *ir.Module) bool {
+	n := 0
+	for _, g := range m.Globals {
+		if g.ReadOnly {
+			if n++; n >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanDeadArgElim: the pass only drops parameters of non-main functions.
+func scanDeadArgElim(m *ir.Module) bool {
+	for _, f := range m.Funcs {
+		if f.Name != "main" && len(f.Params) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// scanFunctionAttrs simulates the functionattrs fixpoint without writing:
+// it reports whether any function's derived attributes differ from its
+// current ones. The simulation reads callee attributes through a shadow map
+// so multi-step propagation is modelled exactly like the real run.
+type attrTriple struct{ ro, rn, nt bool }
+
+func scanFunctionAttrs(m *ir.Module) bool {
+	shadow := make(map[*ir.Func]attrTriple, len(m.Funcs))
+	for _, f := range m.Funcs {
+		shadow[f] = attrTriple{f.Attrs.ReadOnly, f.Attrs.ReadNone, f.Attrs.NoTrap}
+	}
+	diff := false
+	for again := true; again; {
+		again = false
+		for _, f := range m.Funcs {
+			ro, rn, nt := deriveAttrsShadow(f, shadow)
+			if cur := shadow[f]; ro != cur.ro || rn != cur.rn || nt != cur.nt {
+				shadow[f] = attrTriple{ro, rn, nt}
+				diff, again = true, true
+			}
+		}
+	}
+	return diff
+}
+
+// deriveAttrsShadow mirrors deriveAttrs but reads callee attributes from
+// the shadow map instead of the functions themselves.
+func deriveAttrsShadow(f *ir.Func, shadow map[*ir.Func]attrTriple) (readOnly, readNone, noTrap bool) {
+	readOnly, readNone, noTrap = true, true, true
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpStore, ir.OpMemset, ir.OpPrint:
+				readOnly, readNone = false, false
+			case ir.OpLoad:
+				readNone = false
+			case ir.OpAlloca:
+			case ir.OpCall:
+				if in.Callee == nil {
+					return false, false, false
+				}
+				ca, ok := shadow[in.Callee]
+				if !ok {
+					ca = attrTriple{in.Callee.Attrs.ReadOnly, in.Callee.Attrs.ReadNone, in.Callee.Attrs.NoTrap}
+				}
+				if !ca.ro && !ca.rn {
+					readOnly, readNone = false, false
+				}
+				if !ca.rn {
+					readNone = false
+				}
+				if !ca.nt {
+					noTrap = false
+				}
+			case ir.OpSDiv, ir.OpSRem:
+				if c, ok := ir.IsConst(in.Args[1]); !ok || c == 0 {
+					noTrap = false
+				}
+			}
+		}
+	}
+	readNone = readNone && noTrap
+	return readOnly, readNone, noTrap
+}

@@ -1,0 +1,48 @@
+// Package profiling wires the stdlib pprof profilers into the CLIs: both
+// cmd/autophase and cmd/experiments expose -cpuprofile/-memprofile flags
+// through Start, so search-loop hot spots (pass application, fingerprinting,
+// the interpreter) can be profiled on real workloads without a rebuild.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and arranges a
+// heap profile into memPath (when non-empty). The returned stop function
+// flushes both; callers defer it from main. Either path being empty makes
+// the corresponding profile a no-op.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create %s: %w", cpuPath, err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: create %s: %v\n", memPath, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live objects
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "profiling: write heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}
