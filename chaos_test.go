@@ -1,0 +1,123 @@
+// Chaos suite: every consumer of the evaluation engine — the search
+// algorithms and the RL trainers — must survive sustained deterministic
+// fault injection without crashing or hanging, while keeping the engine's
+// accounting invariant (samples == successes + faults + flagged) and never
+// reporting a quarantined sequence as its best result.
+//
+// Set AUTOPHASE_CHAOS_DIR to also exercise the crash-bundle sink; CI points
+// it at an artifact directory so bundles from a failing run are uploaded.
+package autophase_test
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"autophase/internal/core"
+	"autophase/internal/faults"
+	"autophase/internal/rl"
+	"autophase/internal/search"
+)
+
+// chaosSpec keeps every injection point active at a 1–5% rate.
+const chaosSpec = "pass-panic:0.03,interp-stall:0.02,profile-err:0.03,feature-panic:0.01"
+
+const chaosWorkers = 8
+
+// runChaos drives fn against a freshly injected program under a watchdog,
+// then checks the engine invariants.
+func runChaos(t *testing.T, prog string, fn func(p *core.Program)) {
+	t.Helper()
+	p := detProgram(t, prog)
+	if dir := os.Getenv("AUTOPHASE_CHAOS_DIR"); dir != "" {
+		core.SetCrashDir(dir)
+		defer core.SetCrashDir("")
+	}
+	spec, err := faults.ParseSpec(chaosSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(spec)
+	defer faults.Disable()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn(p)
+	}()
+	select {
+	case <-done:
+	case <-time.After(90 * time.Second):
+		t.Fatal("chaos driver hung: watchdog fired after 90s")
+	}
+	faults.Disable()
+
+	st := p.EvalStats()
+	if st.Samples != st.Successes+st.Faults+st.Flagged {
+		t.Fatalf("accounting invariant broken: samples=%d successes=%d faults=%d flagged=%d",
+			st.Samples, st.Successes, st.Faults, st.Flagged)
+	}
+	if st.Faults == 0 {
+		t.Fatalf("no faults at these injection rates — injection is not reaching the engine: %+v", st)
+	}
+	if st.Quarantined > st.Faults {
+		t.Fatalf("quarantine (%d) outgrew the fault count (%d)", st.Quarantined, st.Faults)
+	}
+	if best, seq := p.BestCycles(); seq != nil {
+		if f, q := p.IsQuarantined(seq); q {
+			t.Fatalf("best sequence (%d cycles) is quarantined: %v", best, f)
+		}
+		if _, _, ok := p.Compile(seq); !ok {
+			t.Fatalf("best sequence does not recompile cleanly with injection off: %v", seq)
+		}
+	}
+}
+
+func TestChaosRandom(t *testing.T) {
+	runChaos(t, "matmul", func(p *core.Program) {
+		obj := core.NewEvaluator(p, chaosWorkers).Objective(10)
+		search.Random(obj, rand.New(rand.NewSource(4)), 300)
+	})
+}
+
+func TestChaosGenetic(t *testing.T) {
+	runChaos(t, "sha", func(p *core.Program) {
+		obj := core.NewEvaluator(p, chaosWorkers).Objective(8)
+		search.Genetic(obj, rand.New(rand.NewSource(9)), search.DefaultGA(), 300)
+	})
+}
+
+func TestChaosES(t *testing.T) {
+	runChaos(t, "matmul", func(p *core.Program) {
+		envCfg := core.DefaultEnv()
+		envCfg.Obs = core.ObsFeatures
+		envCfg.EpisodeLen = 6
+		envs := make([]rl.Env, chaosWorkers)
+		for i := range envs {
+			envs[i] = core.NewPhaseEnv(p, envCfg)
+		}
+		cfg := rl.DefaultES()
+		cfg.Hidden = []int{16}
+		cfg.Population = 8
+		cfg.Seed = 5
+		cfg.Workers = chaosWorkers
+		agent := rl.NewES(cfg, envs[0].ObsSize(), envs[0].ActionDims())
+		for g := 0; g < 3; g++ {
+			agent.Generation(envs)
+		}
+	})
+}
+
+func TestChaosPPO(t *testing.T) {
+	runChaos(t, "qsort", func(p *core.Program) {
+		envCfg := core.DefaultEnv()
+		envCfg.Obs = core.ObsHistogram
+		envCfg.EpisodeLen = 8
+		env := core.NewPhaseEnv(p, envCfg)
+		cfg := rl.DefaultPPO()
+		cfg.RolloutSteps = 64
+		agent := rl.NewPPO(cfg, env.ObsSize(), env.ActionDims())
+		agent.Train([]rl.Env{env}, 256, nil)
+	})
+}

@@ -15,6 +15,8 @@
 //	autophase -program sha -sanitize               # optimize with the pass sanitizer
 //	autophase -program aes -algo genetic -workers 8  # parallel candidate scoring
 //	autophase collect -program gsm -episodes 32    # exploration tuples + win rates
+//	autophase -program sha -algo random -faults "pass-panic:0.02" -crashdir crashes
+//	autophase replay crashes/crash-sha-panic-1a2b3c4d.json  # re-run a crash bundle
 //
 // Algorithms: ppo (histogram obs), ppo-multi (§5.2), a3c, es, greedy,
 // genetic, opentuner, random, o3, o0. The population-style algorithms
@@ -36,6 +38,7 @@ import (
 
 	"autophase/internal/analysis"
 	"autophase/internal/core"
+	"autophase/internal/faults"
 	"autophase/internal/features"
 	"autophase/internal/hls"
 	"autophase/internal/interp"
@@ -54,6 +57,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "collect" {
 		runCollect(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "replay" {
+		runReplay(os.Args[2:])
 		return
 	}
 	prog := flag.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
@@ -75,6 +82,10 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel candidate evaluations (results identical at any count)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	faultSpec := flag.String("faults", "", `fault-injection spec, e.g. "pass-panic:0.01,interp-stall:0.005,profile-err:0.01"`)
+	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
+	crashDirFlag := flag.String("crashdir", "", "write a crash-repro bundle here for every contained panic/deadline fault")
+	deadline := flag.Duration("deadline", 0, "wall-clock deadline per profile, e.g. 2s (0 = unbounded)")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -119,6 +130,23 @@ func main() {
 	}
 	if *sanitize {
 		p.EnableSanitizer()
+	}
+	if *crashDirFlag != "" {
+		core.SetCrashDir(*crashDirFlag)
+	}
+	if *deadline > 0 {
+		lim := interp.DefaultLimits
+		lim.Deadline = *deadline
+		p.SetLimits(lim)
+	}
+	// Injection starts after NewProgram so the O0/O3 baselines are organic.
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(spec)
+		defer faults.Disable()
 	}
 	fmt.Printf("program %s: O0=%d cycles, O3=%d cycles\n", *prog, p.O0Cycles, p.O3Cycles)
 
@@ -349,13 +377,21 @@ func parsePasses(s string) ([]int, error) {
 			}
 		}
 		if found < 0 {
-			if v, err := strconv.Atoi(name); err == nil && v >= 0 && v < passes.NumPasses {
-				found = v
-			} else {
+			v, err := strconv.Atoi(name)
+			if err != nil {
 				return nil, fmt.Errorf("unknown pass %q", name)
 			}
+			if err := passes.CheckIndex(v); err != nil {
+				return nil, fmt.Errorf("pass %q: %w", name, err)
+			}
+			found = v
 		}
 		seq = append(seq, found)
+	}
+	// Belt and braces: the engine rejects invalid sequences at its boundary
+	// too, but a typed error here beats a FaultBadSeq downstream.
+	if err := passes.CheckSeq(seq); err != nil {
+		return nil, err
 	}
 	return seq, nil
 }
@@ -424,6 +460,9 @@ func optimize(p *core.Program, ev *core.Evaluator, algo string, budget, seqLen i
 }
 
 func report(p *core.Program, seq []int, cycles int64) {
+	// The final validation run must be organic even when the search ran
+	// under -faults injection.
+	faults.Disable()
 	var names []string
 	for _, s := range seq {
 		names = append(names, passes.Table1Names[s])

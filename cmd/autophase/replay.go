@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"autophase/internal/core"
+	"autophase/internal/faults"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+)
+
+// runReplay is the `autophase replay` subcommand: load a crash-repro bundle
+// written by -crashdir, rebuild the faulting compile from it (preferring the
+// inlined pre-optimization IR over the benchmark name, so replays survive
+// benchmark drift), and re-run the recorded pass sequence.
+//
+// Exit status 0 means the fault reproduced; 1 means it did not (stale
+// bundle, or a fault that needs -faults re-enabled to manifest).
+func runReplay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	faultSpec := fs.String("faults", "", "re-enable fault injection with this spec while replaying")
+	faultSeed := fs.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
+	verbose := fs.Bool("verbose", false, "also print the recorded panic stack")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: autophase replay [-faults spec] <bundle.json>"))
+	}
+
+	b, err := core.ReadCrashBundle(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bundle: program=%s kind=%s stage=%s seq=%v\n", b.Program, b.Kind, b.Stage, b.Seq)
+	if b.Pass >= 0 && b.Pass < passes.NumPasses {
+		fmt.Printf("recorded faulting pass: %s (index %d, position %d)\n",
+			passes.Table1Names[b.Pass], b.Pass, b.Pos)
+	}
+	fmt.Printf("recorded error: %s\n", b.Err)
+	if *verbose && b.Stack != "" {
+		fmt.Println("recorded stack:")
+		fmt.Println(b.Stack)
+	}
+
+	var m *ir.Module
+	if b.BeforeIR != "" {
+		if m, err = ir.Parse(b.BeforeIR); err != nil {
+			fatal(fmt.Errorf("bundle IR does not parse: %w", err))
+		}
+	} else if m, err = loadProgram(b.Program); err != nil {
+		fatal(fmt.Errorf("bundle has no inlined IR and program %q failed to load: %v", b.Program, err))
+	}
+	p, err := core.NewProgram(b.Program, m)
+	if err != nil {
+		fatal(err)
+	}
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(spec)
+		defer faults.Disable()
+	}
+
+	var got *core.EvalFault
+	p.SetFaultHook(func(f *core.EvalFault) { got = f })
+	cycles, _, ok := p.Compile(b.Seq)
+	switch {
+	case got != nil:
+		fmt.Printf("replay: fault REPRODUCED [%s/%s]: %s\n", got.Kind, got.Stage, got.Err)
+		if got.Kind.String() != b.Kind {
+			fmt.Printf("note: fault kind differs from the bundle (recorded %s, replayed %s)\n",
+				b.Kind, got.Kind)
+		}
+	case !ok:
+		fmt.Println("replay: compile failed, but with a profile error or sanitizer flag, not a contained panic/deadline fault")
+		os.Exit(1)
+	default:
+		fmt.Printf("replay: fault did NOT reproduce — compile succeeded (%d cycles)\n", cycles)
+		if b.Err != "" && *faultSpec == "" {
+			fmt.Println("hint: if the bundle records an injected fault, re-run with the original -faults spec and seed")
+		}
+		os.Exit(1)
+	}
+}

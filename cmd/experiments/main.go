@@ -18,6 +18,7 @@ import (
 
 	"autophase/internal/core"
 	"autophase/internal/experiments"
+	"autophase/internal/faults"
 	"autophase/internal/profiling"
 )
 
@@ -28,12 +29,27 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation parallelism (0 = the scale's default: quick pins 1, full uses all CPUs)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	faultSpec := flag.String("faults", "", `fault-injection spec, e.g. "pass-panic:0.01,interp-stall:0.005"`)
+	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
+	crashDir := flag.String("crashdir", "", "write crash-repro bundles here for contained panic/deadline faults")
 	flag.Parse()
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *crashDir != "" {
+		core.SetCrashDir(*crashDir)
+	}
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		faults.Enable(spec)
+		defer faults.Disable()
 	}
 
 	sc := experiments.Quick()

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -85,8 +86,14 @@ type Program struct {
 
 	// The atomic stats block (EvalStats is its snapshot): samples is the
 	// paper's accounting unit, the rest are the evaluation engine's
-	// observability surface.
+	// observability surface. Every sample-charged query resolves to exactly
+	// one of successes/faults/flagged, so samples = successes + faults +
+	// flagged holds at any worker count (the chaos suite's invariant).
 	samples      atomic.Int64
+	successes    atomic.Int64 // sample-charged queries that returned ok
+	faults       atomic.Int64 // sample-charged queries that returned a fault
+	flagged      atomic.Int64 // sample-charged queries the sanitizer failed
+	retries      atomic.Int64 // bounded retries of deadline-class faults
 	compiles     atomic.Int64 // physical compile+profile executions
 	cacheHits    atomic.Int64
 	merges       atomic.Int64 // singleflight-deduplicated concurrent compiles
@@ -94,6 +101,19 @@ type Program struct {
 	fpHits       atomic.Int64 // new sequences sharing an existing profile by fingerprint
 	noopIR       atomic.Int64 // pass suffixes that changed nothing (module reused outright)
 	fpMismatches atomic.Int64 // sanitizer: stored fp profile disagreed with recompute
+
+	// The quarantine tier: sequences whose compile faulted with a
+	// remembered kind (panic forever, deadline until SetLimits). A
+	// quarantined sequence is never re-run and never cached as valid;
+	// every query of it is re-charged as one sample and one fault, exactly
+	// as a failed profile is, so accounting is worker-count invariant.
+	quarMu sync.Mutex
+	quar   map[string]*EvalFault
+
+	// faultHook (SetFaultHook) observes physical panic/deadline faults;
+	// when unset, crash bundles go to the process-wide SetCrashDir sink.
+	hookMu    sync.Mutex
+	faultHook FaultHook
 
 	bestMu  sync.Mutex
 	best    int64 // best cycle count seen since the last reset
@@ -163,6 +183,7 @@ type compileResult struct {
 	feats  []int64
 	fp     ir.Fingerprint
 	ok     bool
+	fault  *EvalFault // non-nil when ok=false because the compile faulted
 }
 
 // NewProgram profiles the unoptimized and -O3 baselines and returns the
@@ -244,8 +265,15 @@ func (p *Program) SanitizerReport() *passes.SanitizerReport {
 	return p.sanReport
 }
 
-// Features returns the feature vector of the unoptimized program.
-func (p *Program) Features() []int64 { return p.featMemo.Extract(p.orig, p.origFP) }
+// Features returns the feature vector of the unoptimized program. It is an
+// observation-only surface, so a contained extraction fault degrades to an
+// all-zero vector instead of failing the caller.
+func (p *Program) Features() []int64 {
+	if f, fault := p.extractSafe(p.orig, p.origFP, nil); fault == nil {
+		return f
+	}
+	return make([]int64, features.NumFeatures)
+}
 
 // seqKey encodes a sequence as two big-endian bytes per pass index. The
 // fixed width keeps the byte-prefix ⟺ sequence-prefix equivalence the IR
@@ -368,10 +396,29 @@ func (p *Program) fpUnref(fp ir.Fingerprint) {
 	}
 }
 
-// compile is the shared memoized entry point: shard read-lock fast path,
-// then singleflight on a miss.
+// compile is the shared memoized entry point: boundary validation, then
+// the quarantine gate, then the shard read-lock fast path, then
+// singleflight on a miss.
 func (p *Program) compile(seq []int) compileResult {
+	// The API boundary for externally supplied sequences: an out-of-range
+	// index becomes a typed fault, not a ByIndex panic. Re-charged on every
+	// query (nothing is cached for a sequence that never ran).
+	if err := passes.CheckSeq(seq); err != nil {
+		f := &EvalFault{Kind: FaultBadSeq, Stage: "boundary", Pass: -1, Pos: -1,
+			Program: p.Name, Seq: append([]int(nil), seq...), Err: err.Error()}
+		p.samples.Add(1)
+		p.faults.Add(1)
+		return compileResult{fault: f}
+	}
 	key := seqKey(seq)
+	// Quarantine gate: remembered faults short-circuit the compile — the
+	// sequence is never re-run — but are re-charged as one sample and one
+	// fault per query, mirroring the failed-profile accounting rule.
+	if f := p.quarGet(key); f != nil {
+		p.samples.Add(1)
+		p.faults.Add(1)
+		return compileResult{fault: f}
+	}
 	sh := &p.shards[shardIndex(key)]
 	sh.mu.RLock()
 	e, hit := sh.cache[key]
@@ -403,7 +450,15 @@ func (p *Program) compile(seq []int) compileResult {
 		sh.mu.Unlock()
 		<-fl.done
 		p.merges.Add(1)
-		if !fl.cached {
+		switch {
+		case fl.res.fault != nil:
+			// A fault is re-charged to every merged waiter: sequentially,
+			// each of these queries would have hit the quarantine gate (or
+			// re-run a transient failure) and paid one sample + one fault,
+			// so the merged path must charge the same.
+			p.samples.Add(1)
+			p.faults.Add(1)
+		case !fl.cached:
 			// Sequential behaviour re-counts an uncached (failed) compile as
 			// a fresh sample on every query; a merged waiter counts the same
 			// way so sample totals are identical at any worker count.
@@ -418,7 +473,7 @@ func (p *Program) compile(seq []int) compileResult {
 	sh.inflight[key] = fl
 	sh.mu.Unlock()
 
-	res, cacheable := p.compileMiss(seq, key)
+	res, cacheable := p.compileGuarded(seq, key)
 
 	sh.mu.Lock()
 	if cacheable {
@@ -433,37 +488,128 @@ func (p *Program) compile(seq []int) compileResult {
 	return res
 }
 
+// compileGuarded is the outermost containment boundary around the
+// singleflight owner's work: the staged boundaries inside compileMiss
+// attribute pass, feature and profile panics precisely, and this catch-all
+// converts anything that still escapes (cache bookkeeping, stats) into a
+// panic-class fault instead of unwinding into the worker pool with the
+// inflight entry still registered — which would deadlock every waiter.
+func (p *Program) compileGuarded(seq []int, key string) (res compileResult, cacheable bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			res = p.faultResult(newPanicFault(v, "boundary", p.Name, seq), key)
+			cacheable = false
+		}
+	}()
+	return p.compileMiss(seq, key)
+}
+
+// faultResult charges and records one physical fault occurrence: the fault
+// counter, the quarantine tier (for remembered kinds), and the forensics
+// sink (hook or crash directory) for panic/deadline-class faults. The
+// sample for the query was already charged by compileMiss.
+func (p *Program) faultResult(f *EvalFault, key string) compileResult {
+	p.faults.Add(1)
+	if f.Kind.quarantinable() {
+		p.quarMu.Lock()
+		if p.quar == nil {
+			p.quar = make(map[string]*EvalFault)
+		}
+		p.quar[key] = f
+		p.quarMu.Unlock()
+		p.hookMu.Lock()
+		hook := p.faultHook
+		p.hookMu.Unlock()
+		if hook != nil {
+			hook(f)
+		} else if dir := crashDir(); dir != "" {
+			// Best-effort forensics: a failing write must not turn a
+			// contained fault back into a hard failure.
+			_, _ = WriteCrashBundle(dir, p, f)
+		}
+	}
+	return compileResult{fault: f}
+}
+
+// quarGet returns the remembered fault for key, or nil.
+func (p *Program) quarGet(key string) *EvalFault {
+	p.quarMu.Lock()
+	defer p.quarMu.Unlock()
+	return p.quar[key]
+}
+
+// IsQuarantined reports whether seq is quarantined, and with which fault.
+func (p *Program) IsQuarantined(seq []int) (*EvalFault, bool) {
+	f := p.quarGet(seqKey(seq))
+	return f, f != nil
+}
+
+// QuarantineCount returns the number of quarantined sequences.
+func (p *Program) QuarantineCount() int {
+	p.quarMu.Lock()
+	defer p.quarMu.Unlock()
+	return len(p.quar)
+}
+
+// SetFaultHook routes physical panic/deadline-class faults to h instead of
+// the SetCrashDir sink. A nil h restores the default.
+func (p *Program) SetFaultHook(h FaultHook) {
+	p.hookMu.Lock()
+	p.faultHook = h
+	p.hookMu.Unlock()
+}
+
+// IRText returns the textual IR of the unoptimized module — what a custom
+// FaultHook embeds in its own crash bundles.
+func (p *Program) IRText() string { return p.orig.String() }
+
 // compileMiss does the uncached work — build the optimized IR, then either
 // share an existing profile by fingerprint or physically profile — outside
-// any shard lock, so misses on different sequences run in parallel.
+// any shard lock, so misses on different sequences run in parallel. Each
+// stage (pass execution, feature extraction, profiling) runs behind its own
+// containment boundary; a stage panic becomes a typed fault, not a dead
+// worker.
 func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheable bool) {
 	p.cfgMu.RLock()
 	defer p.cfgMu.RUnlock()
 	p.samples.Add(1)
-	m, fp, irOK := p.buildIR(seq, key, p.sanitize)
+	m, fp, irOK, fault := p.buildIRSafe(seq, key, p.sanitize)
+	if fault != nil {
+		return p.faultResult(fault, key), false
+	}
 	if !irOK {
 		// The sanitizer flagged this sequence: fail the compile loudly
 		// rather than profiling a miscompiled module.
+		p.flagged.Add(1)
 		return compileResult{}, true
+	}
+	// Features are extracted (and memoized) before the profile so a
+	// feature-stage fault is caught while no fingerprint-store reference is
+	// held yet.
+	feats, ffault := p.extractSafe(m, fp, seq)
+	if ffault != nil {
+		return p.faultResult(ffault, key), false
 	}
 	if !p.sanitize {
 		// Fingerprint fast path: another sequence already reached this exact
 		// IR, so its profile (and feature vector) carry over wholesale.
 		if cyc, area, ok := p.fpShare(fp); ok {
 			p.fpHits.Add(1)
-			res = compileResult{cycles: cyc, area: area,
-				feats: p.featMemo.Extract(m, fp), fp: fp, ok: true}
+			p.successes.Add(1)
+			res = compileResult{cycles: cyc, area: area, feats: feats, fp: fp, ok: true}
 			p.recordBest(cyc, seq)
 			return res, true
 		}
 	}
 	p.compiles.Add(1)
-	rep, err := p.profile(m)
-	if err != nil {
-		// Failed profiles (limit overruns, traps) are deliberately not
-		// cached: a limit error depends on the configured interp.Limits and
-		// must be re-evaluated — and re-counted as a sample — on every query.
-		return compileResult{}, false
+	rep, pfault := p.profileSafe(m, seq)
+	if pfault != nil {
+		// Profile-class faults (limit overruns, traps, injected errors) are
+		// deliberately not cached or quarantined: the verdict depends on the
+		// configured interp.Limits and must be re-evaluated — and re-counted
+		// as a sample and a fault — on every query. Panic/deadline-class
+		// faults are quarantined inside faultResult.
+		return p.faultResult(pfault, key), false
 	}
 	if p.sanitize {
 		// Differential mode never takes the fingerprint shortcut; instead it
@@ -473,10 +619,71 @@ func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheab
 		}
 	}
 	p.fpPublish(fp, rep.Cycles, int64(rep.AreaLUT), true)
+	p.successes.Add(1)
 	res = compileResult{cycles: rep.Cycles, area: int64(rep.AreaLUT),
-		feats: p.featMemo.Extract(m, fp), fp: fp, ok: true}
+		feats: feats, fp: fp, ok: true}
 	p.recordBest(rep.Cycles, seq)
 	return res, true
+}
+
+// buildIRSafe is buildIR behind the pass-stage containment boundary: a
+// panicking pass (attributed by passes.Apply as a *PassPanic) surfaces as a
+// typed panic-class fault.
+func (p *Program) buildIRSafe(seq []int, key string, sanitize bool) (m *ir.Module, fp ir.Fingerprint, ok bool, fault *EvalFault) {
+	defer func() {
+		if v := recover(); v != nil {
+			m, fp, ok = nil, ir.Fingerprint{}, false
+			fault = newPanicFault(v, "pass", p.Name, seq)
+		}
+	}()
+	m, fp, ok = p.buildIR(seq, key, sanitize)
+	return
+}
+
+// extractSafe is memoized feature extraction behind the feature-stage
+// containment boundary.
+func (p *Program) extractSafe(m *ir.Module, fp ir.Fingerprint, seq []int) (feats []int64, fault *EvalFault) {
+	defer func() {
+		if v := recover(); v != nil {
+			feats = nil
+			fault = newPanicFault(v, "features", p.Name, seq)
+		}
+	}()
+	return p.featMemo.Extract(m, fp), nil
+}
+
+// profileSafe is the profiler behind the profile-stage containment
+// boundary, with the retry policy applied: deadline-class failures
+// (transient under contention) get one bounded retry; everything else gets
+// none. Panics inside scheduling, the interpreter or the static estimator
+// become panic-class faults.
+func (p *Program) profileSafe(m *ir.Module, seq []int) (*hls.Report, *EvalFault) {
+	rep, err, fault := p.profileRecover(m, seq)
+	if fault != nil {
+		return nil, fault
+	}
+	if err != nil && errors.Is(err, interp.ErrDeadline) {
+		p.retries.Add(1)
+		rep, err, fault = p.profileRecover(m, seq)
+		if fault != nil {
+			return nil, fault
+		}
+	}
+	if err != nil {
+		return nil, classifyProfileErr(err, p.Name, seq)
+	}
+	return rep, nil
+}
+
+func (p *Program) profileRecover(m *ir.Module, seq []int) (rep *hls.Report, err error, fault *EvalFault) {
+	defer func() {
+		if v := recover(); v != nil {
+			rep, err = nil, nil
+			fault = newPanicFault(v, "profile", p.Name, seq)
+		}
+	}()
+	rep, err = p.profile(m)
+	return
 }
 
 // recordBest updates the incumbent. Ties on the cycle count break towards
@@ -625,12 +832,18 @@ func (p *Program) BestCycles() (int64, []int) {
 // Samples reports the number of profiler invocations (cache misses).
 func (p *Program) Samples() int { return int(p.samples.Load()) }
 
-// ResetSamples zeroes the sample counter (e.g. between search runs), and
-// optionally drops the memoization cache so every algorithm pays full cost.
+// ResetSamples zeroes the per-run accounting (samples and its
+// successes/faults/flagged/retries decomposition, e.g. between search
+// runs), and optionally drops the memoization cache — quarantine included —
+// so every algorithm pays full cost.
 func (p *Program) ResetSamples(dropCache bool) {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
 	p.samples.Store(0)
+	p.successes.Store(0)
+	p.faults.Store(0)
+	p.flagged.Store(0)
+	p.retries.Store(0)
 	p.bestMu.Lock()
 	p.best = 0
 	p.bestSeq = nil
@@ -651,6 +864,9 @@ func (p *Program) ResetSamples(dropCache bool) {
 		p.fpOrder = nil
 		p.fpMu.Unlock()
 		p.featMemo.Reset()
+		p.quarMu.Lock()
+		p.quar = nil
+		p.quarMu.Unlock()
 	}
 }
 
@@ -681,6 +897,16 @@ func (p *Program) SetLimits(lim interp.Limits) {
 		e.refs = 0
 	}
 	p.fpMu.Unlock()
+	// Deadline-class quarantine verdicts depend on the limits, so new
+	// limits grant those sequences a fresh trial. Panic-class entries stay:
+	// a panicking pass panics under any limit.
+	p.quarMu.Lock()
+	for k, f := range p.quar {
+		if f.Kind == FaultDeadline {
+			delete(p.quar, k)
+		}
+	}
+	p.quarMu.Unlock()
 }
 
 // SpeedupOverO3 converts a cycle count into the paper's headline metric:
@@ -834,8 +1060,13 @@ func (c EnvConfig) reward(prev, cur, base int64) float64 {
 // invoking the clock-cycle profiler. Inference needs the next observation
 // but no reward, so this does not count as a sample — which is how the
 // paper's deep-RL inference reaches 1 sample per program (Figure 9).
+// An extraction or pass fault degrades to an all-zero observation: this is
+// the inference path, where a crash would cost the whole rollout.
 func (p *Program) FeaturesAfter(seq []int) []int64 {
 	key := seqKey(seq)
+	if passes.CheckSeq(seq) != nil || p.quarGet(key) != nil {
+		return make([]int64, features.NumFeatures)
+	}
 	sh := &p.shards[shardIndex(key)]
 	sh.mu.RLock()
 	e, hit := sh.cache[key]
@@ -846,12 +1077,19 @@ func (p *Program) FeaturesAfter(seq []int) []int64 {
 		}
 	}
 	p.cfgMu.RLock()
-	m, fp, ok := p.buildIR(seq, key, p.sanitize)
+	m, fp, ok, fault := p.buildIRSafe(seq, key, p.sanitize)
 	p.cfgMu.RUnlock()
+	if fault != nil {
+		return make([]int64, features.NumFeatures)
+	}
 	if !ok {
 		// Sanitizer-flagged sequence: observe the corrupted module without
 		// polluting the fingerprint-keyed memo.
 		return features.Extract(m)
 	}
-	return p.featMemo.Extract(m, fp)
+	f, ffault := p.extractSafe(m, fp, seq)
+	if ffault != nil {
+		return make([]int64, features.NumFeatures)
+	}
+	return f
 }

@@ -30,10 +30,12 @@ type PhaseEnv struct {
 	Cfg     EnvConfig
 	Program *Program
 
-	seq    []int
-	hist   []int
-	cycles int64
-	best   int64
+	seq       []int
+	hist      []int
+	cycles    int64
+	best      int64
+	steps     int     // actions taken this episode, including rolled-back faults
+	lastFeats []int64 // features of the last healthy compile, for fault observations
 }
 
 // NewPhaseEnv builds an environment over one program.
@@ -76,20 +78,20 @@ func (e *PhaseEnv) observe(rawFeats []int64) []float64 {
 }
 
 // cost evaluates the configured objective for the sequence.
-func (e *PhaseEnv) cost(seq []int) (int64, []int64, bool) {
+func (e *PhaseEnv) cost(seq []int) (int64, []int64, bool, *EvalFault) {
 	if e.Cfg.NoProfile {
 		// Inference mode: observation only, no profiler sample, no reward.
-		return 0, e.Program.FeaturesAfter(seq), true
+		return 0, e.Program.FeaturesAfter(seq), true, nil
 	}
 	r := e.Program.compile(seq)
 	switch e.Cfg.Objective {
 	case MinimizeArea:
-		return r.area, r.feats, r.ok
+		return r.area, r.feats, r.ok, r.fault
 	case MinimizeAreaDelay:
 		// Scaled area-delay product keeps rewards in a trainable range.
-		return r.cycles * r.area / 1024, r.feats, r.ok
+		return r.cycles * r.area / 1024, r.feats, r.ok, r.fault
 	default:
-		return r.cycles, r.feats, r.ok
+		return r.cycles, r.feats, r.ok, r.fault
 	}
 }
 
@@ -97,18 +99,26 @@ func (e *PhaseEnv) cost(seq []int) (int64, []int64, bool) {
 func (e *PhaseEnv) Reset() []float64 {
 	e.seq = e.seq[:0]
 	e.hist = make([]int, len(e.Cfg.actions()))
-	cycles, feats, ok := e.cost(nil)
+	e.steps = 0
+	cycles, feats, ok, _ := e.cost(nil)
 	if !ok {
 		cycles = e.Program.O0Cycles
 		feats = e.Program.Features()
 	}
 	e.cycles = cycles
 	e.best = cycles
+	e.lastFeats = feats
 	return e.observe(feats)
 }
 
 // Step implements rl.Env. The action indexes the configured pass list; the
 // environment applies the pass, recompiles, and rewards the cycle drop.
+//
+// A contained panic- or deadline-class fault does not forfeit the episode:
+// the faulting pass is rolled back (it is quarantined and would fault again
+// anyway), the agent is charged a −1 reward, and the episode continues from
+// the last healthy state. The done condition counts actions taken, not
+// sequence length, so sustained faults cannot starve episode termination.
 func (e *PhaseEnv) Step(actions []int) ([]float64, float64, bool) {
 	acts := e.Cfg.actions()
 	a := actions[0]
@@ -118,21 +128,26 @@ func (e *PhaseEnv) Step(actions []int) ([]float64, float64, bool) {
 	pass := acts[a]
 	e.seq = append(e.seq, pass)
 	e.hist[a]++
+	e.steps++
 
-	cycles, feats, ok := e.cost(e.seq)
-	var r float64
-	if ok {
-		r = e.Cfg.reward(e.cycles, cycles, e.Program.O0Cycles)
-		e.cycles = cycles
-		if cycles < e.best {
-			e.best = cycles
+	cycles, feats, ok, fault := e.cost(e.seq)
+	done := e.steps >= e.Cfg.EpisodeLen || pass == passes.TerminateIndex
+	if !ok {
+		if fault != nil && fault.Kind.quarantinable() {
+			e.seq = e.seq[:len(e.seq)-1]
+			e.hist[a]--
+			return e.observe(e.lastFeats), -1, done
 		}
-	} else {
-		// A failing compile (should not happen with verified passes) ends
-		// the episode with a strong penalty.
+		// A failing compile (limit blowout, sanitizer flag) ends the
+		// episode with a strong penalty, as before containment existed.
 		return e.observe(e.Program.Features()), -1, true
 	}
-	done := len(e.seq) >= e.Cfg.EpisodeLen || pass == passes.TerminateIndex
+	r := e.Cfg.reward(e.cycles, cycles, e.Program.O0Cycles)
+	e.cycles = cycles
+	if cycles < e.best {
+		e.best = cycles
+	}
+	e.lastFeats = feats
 	return e.observe(feats), r, done
 }
 
@@ -154,10 +169,11 @@ type MultiPhaseEnv struct {
 	Slots   int // N
 	Steps   int // RL steps per episode
 
-	slots  []int
-	step   int
-	cycles int64
-	best   int64
+	slots     []int
+	step      int
+	cycles    int64
+	best      int64
+	lastFeats []int64 // features of the last healthy compile, for fault observations
 }
 
 // NewMultiPhaseEnv builds the multiple-passes-per-action environment.
@@ -222,13 +238,17 @@ func (e *MultiPhaseEnv) Reset() []float64 {
 	}
 	e.cycles = cycles
 	e.best = cycles
+	e.lastFeats = feats
 	return e.observe(feats)
 }
 
 // Step implements rl.Env: one −1/0/+1 update per slot, then a single
-// compilation of the whole sequence.
+// compilation of the whole sequence. As in PhaseEnv, a contained panic- or
+// deadline-class fault restores the previous slot vector, charges a −1
+// reward, and lets the episode continue.
 func (e *MultiPhaseEnv) Step(actions []int) ([]float64, float64, bool) {
 	k := len(e.Cfg.actions())
+	prev := append([]int(nil), e.slots...)
 	for i := 0; i < e.Slots && i < len(actions); i++ {
 		e.slots[i] += actions[i] - 1
 		if e.slots[i] < 0 {
@@ -239,18 +259,22 @@ func (e *MultiPhaseEnv) Step(actions []int) ([]float64, float64, bool) {
 		}
 	}
 	e.step++
-	cycles, feats, ok := e.Program.Compile(e.sequence())
-	var r float64
-	if ok {
-		r = e.Cfg.reward(e.cycles, cycles, e.Program.O0Cycles)
-		e.cycles = cycles
-		if cycles < e.best {
-			e.best = cycles
+	res := e.Program.compile(e.sequence())
+	done := e.step >= e.Steps
+	if !res.ok {
+		if res.fault != nil && res.fault.Kind.quarantinable() {
+			e.slots = prev
+			return e.observe(e.lastFeats), -1, done
 		}
-	} else {
 		return e.observe(e.Program.Features()), -1, true
 	}
-	return e.observe(feats), r, e.step >= e.Steps
+	r := e.Cfg.reward(e.cycles, res.cycles, e.Program.O0Cycles)
+	e.cycles = res.cycles
+	if res.cycles < e.best {
+		e.best = res.cycles
+	}
+	e.lastFeats = res.feats
+	return e.observe(res.feats), r, done
 }
 
 // BestCycles returns the best cycle count seen this episode.

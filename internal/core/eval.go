@@ -18,10 +18,11 @@ import (
 // *which* duplicate compile wins the singleflight race, and that is
 // invisible in the results.
 type Evaluator struct {
-	p       *Program
-	workers int
-	batches atomic.Int64
-	wallNS  atomic.Int64
+	p        *Program
+	workers  int
+	batches  atomic.Int64
+	wallNS   atomic.Int64
+	restarts atomic.Int64 // workers replaced after an escaped panic
 }
 
 // NewEvaluator wraps p with a worker pool of the given width (minimum 1).
@@ -38,30 +39,45 @@ func (e *Evaluator) Program() *Program { return e.p }
 // Workers returns the pool width.
 func (e *Evaluator) Workers() int { return e.workers }
 
-// EvalResult is one scored sequence.
+// EvalResult is one scored sequence. A compile that faulted reports
+// Ok=false with the contained fault attached.
 type EvalResult struct {
 	Seq    []int
 	Cycles int64
 	Area   int64
 	Feats  []int64
 	Ok     bool
+	Fault  *EvalFault
 }
 
 // EvalBatch scores every sequence and returns results in submission order.
 // Work is spread over min(Workers, len(seqs)) goroutines pulling from a
 // shared index, so a slow compile never stalls the rest of the batch.
+// Compiles are contained (a faulting sequence yields Ok=false, not a dead
+// process); should a panic still escape the containment boundaries, the
+// worker is replaced rather than leaked and the batch completes, with the
+// interrupted index reported as Ok=false.
 func (e *Evaluator) EvalBatch(seqs [][]int) []EvalResult {
 	start := time.Now()
 	out := make([]EvalResult, len(seqs))
+	for i := range out {
+		out[i].Seq = seqs[i]
+	}
 	runIndexed(len(seqs), e.workers, func(i int) {
 		r := e.p.compile(seqs[i])
 		out[i] = EvalResult{Seq: seqs[i], Cycles: r.cycles, Area: r.area,
-			Feats: r.feats, Ok: r.ok}
+			Feats: r.feats, Ok: r.ok, Fault: r.fault}
+	}, func(i int, v any) {
+		e.restarts.Add(1)
 	})
 	e.batches.Add(1)
 	e.wallNS.Add(time.Since(start).Nanoseconds())
 	return out
 }
+
+// WorkerRestarts reports how many pool workers were replaced after an
+// escaped panic.
+func (e *Evaluator) WorkerRestarts() int64 { return e.restarts.Load() }
 
 // Objective adapts the Evaluator to the search package's batch interface:
 // candidates are scored EvalBatch-wide, and Batch tells sequential
@@ -101,6 +117,14 @@ type EvalStats struct {
 	Batches      int64 // EvalBatch invocations
 	BatchWall    time.Duration
 	ShardHits    [cacheShards]int64 // cache hits per shard
+	// Fault-containment accounting. The invariant
+	//   Samples == Successes + Faults + Flagged
+	// holds at every quiescent point regardless of worker count.
+	Successes   int64 // samples that produced a usable profile
+	Faults      int64 // samples answered by a contained fault (incl. quarantine hits)
+	Flagged     int64 // samples rejected by the pass sanitizer
+	Retries     int64 // bounded deadline-class retries attempted
+	Quarantined int64 // sequences currently held in the quarantine tier
 }
 
 // String renders the one-line form the CLI prints.
@@ -115,6 +139,10 @@ func (s EvalStats) String() string {
 		s.Samples, s.Compiles, s.FPHits, s.NoopIR, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits)
 	if s.FPMismatches > 0 {
 		str += fmt.Sprintf(" FP-MISMATCHES=%d", s.FPMismatches)
+	}
+	if s.Faults > 0 || s.Quarantined > 0 || s.Retries > 0 {
+		str += fmt.Sprintf(" faults=%d quarantined=%d retries=%d",
+			s.Faults, s.Quarantined, s.Retries)
 	}
 	if s.Batches > 0 {
 		str += fmt.Sprintf(" batches=%d batch-wall=%s", s.Batches,
@@ -135,6 +163,11 @@ func (p *Program) EvalStats() EvalStats {
 		FPHits:       p.fpHits.Load(),
 		NoopIR:       p.noopIR.Load(),
 		FPMismatches: p.fpMismatches.Load(),
+		Successes:    p.successes.Load(),
+		Faults:       p.faults.Load(),
+		Flagged:      p.flagged.Load(),
+		Retries:      p.retries.Load(),
+		Quarantined:  int64(p.QuarantineCount()),
 	}
 	for i := range p.shards {
 		s.ShardHits[i] = p.shards[i].hits.Load()
@@ -155,30 +188,64 @@ func (e *Evaluator) Stats() EvalStats {
 // goroutines pulling indices from a shared counter. fn must only write
 // state owned by its own index. workers<=1 degenerates to a plain
 // sequential loop with no goroutines at all.
-func runIndexed(n, workers int, fn func(i int)) {
+//
+// onPanic, when non-nil, turns escaped panics into worker restarts: the
+// dying worker reports (index, recovered value) and a replacement goroutine
+// is spawned so pool width — and the WaitGroup ledger — never shrinks. The
+// panicked index is skipped (fn observed it once); with onPanic nil a panic
+// propagates as before. In the sequential degenerate case onPanic is
+// honored too, so Workers=1 and Workers=N agree on containment semantics.
+func runIndexed(n, workers int, fn func(i int), onPanic func(i int, v any)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			runOne(i, fn, onPanic)
 		}
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var body func()
+	body = func() {
+		i := -1
+		defer func() {
+			if v := recover(); v != nil {
+				if onPanic == nil {
+					panic(v)
+				}
+				onPanic(i, v)
+				go body() // replace the dead worker; wg balance unchanged
+				return
+			}
+			wg.Done()
+		}()
+		for {
+			i = int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				fn(i)
-			}
-		}()
+		go body()
 	}
 	wg.Wait()
+}
+
+// runOne is the sequential arm of runIndexed: one fn(i) call with the same
+// panic containment the pool workers get.
+func runOne(i int, fn func(i int), onPanic func(i int, v any)) {
+	defer func() {
+		if v := recover(); v != nil {
+			if onPanic == nil {
+				panic(v)
+			}
+			onPanic(i, v)
+		}
+	}()
+	fn(i)
 }

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+	"sync/atomic"
+
+	"autophase/internal/faults"
+	"autophase/internal/interp"
+	"autophase/internal/passes"
+)
+
+// FaultKind classifies an EvalFault; the kind decides the retry and
+// quarantine policy.
+type FaultKind int
+
+// Fault taxonomy. The policy per kind:
+//
+//   - FaultPanic: a pass, the feature extractor or the profiler panicked.
+//     Deterministic by construction (same IR, same code path), so zero
+//     retries and permanent quarantine — only dropping the whole cache
+//     (ResetSamples(true)) forgets it.
+//   - FaultDeadline: the profiler blew its wall-clock deadline (or an
+//     injected stall simulated one). Transient under contention, so the
+//     compile gets one bounded retry; if both attempts fault the sequence
+//     is quarantined, but SetLimits clears deadline-class entries because
+//     their verdicts depend on the configured limits.
+//   - FaultProfile: the profiler returned an error (trap, step/memory limit,
+//     injected profile-err). Exactly the pre-existing failed-profile class:
+//     never cached, re-evaluated (and re-charged as a sample) on every
+//     query, never quarantined — the verdict depends on the limits.
+//   - FaultBadSeq: the sequence carries a pass index outside Table 1. Caught
+//     at the API boundary before any pass runs; never executed, never
+//     quarantined, re-charged per query like FaultProfile.
+const (
+	FaultPanic FaultKind = iota
+	FaultDeadline
+	FaultProfile
+	FaultBadSeq
+)
+
+var faultKindNames = [...]string{"panic", "deadline", "profile", "bad-seq"}
+
+// String returns the bundle-format name of the kind.
+func (k FaultKind) String() string {
+	if k < 0 || int(k) >= len(faultKindNames) {
+		return fmt.Sprintf("FaultKind(%d)", int(k))
+	}
+	return faultKindNames[k]
+}
+
+// EvalFault is the typed record of one contained evaluation failure: what
+// died (kind, stage, pass), on which input (program, sequence), and the
+// evidence (error text, stack). It is what a panic becomes instead of a
+// dead process.
+type EvalFault struct {
+	Kind    FaultKind
+	Stage   string // "pass", "features", "profile", "boundary"
+	Pass    int    // Table 1 index of the faulting pass; -1 when unknown
+	Pos     int    // position of that pass within Seq; -1 when unknown
+	Program string
+	Seq     []int
+	Err     string
+	Stack   string // captured for panic-class faults, empty otherwise
+}
+
+// Error implements error; EvalFault values flow through error-shaped APIs.
+func (f *EvalFault) Error() string {
+	return fmt.Sprintf("core: eval fault [%s/%s] on %s seq=%v: %s",
+		f.Kind, f.Stage, f.Program, f.Seq, f.Err)
+}
+
+// Injected reports whether the fault was manufactured by the faults
+// injector rather than organic.
+func (f *EvalFault) Injected() bool {
+	return strings.Contains(f.Err, faults.ErrInjected.Error())
+}
+
+// quarantinable reports whether the kind is remembered across queries.
+func (k FaultKind) quarantinable() bool { return k == FaultPanic || k == FaultDeadline }
+
+// newPanicFault builds the panic-class fault for a recovered value,
+// unwrapping the pass attribution when the panic came through passes.Apply.
+func newPanicFault(v any, stage string, name string, seq []int) *EvalFault {
+	f := &EvalFault{Kind: FaultPanic, Stage: stage, Pass: -1, Pos: -1,
+		Program: name, Seq: append([]int(nil), seq...)}
+	if pp, ok := v.(*passes.PassPanic); ok {
+		f.Stage = "pass"
+		f.Pass = pp.Index
+		f.Pos = pp.Pos
+		f.Err = fmt.Sprintf("panic in %s: %v", pp.Name, pp.Val)
+		f.Stack = string(pp.Stack)
+		return f
+	}
+	f.Err = fmt.Sprintf("panic: %v", v)
+	f.Stack = string(debug.Stack())
+	return f
+}
+
+// classifyProfileErr maps a profiler error onto the fault taxonomy.
+func classifyProfileErr(err error, name string, seq []int) *EvalFault {
+	kind := FaultProfile
+	if errors.Is(err, interp.ErrDeadline) {
+		kind = FaultDeadline
+	}
+	return &EvalFault{Kind: kind, Stage: "profile", Pass: -1, Pos: -1,
+		Program: name, Seq: append([]int(nil), seq...), Err: err.Error()}
+}
+
+// FaultHook observes contained panic- and deadline-class faults as they
+// happen (physical occurrences only; quarantine hits do not re-fire it).
+// The hook runs on the faulting worker's goroutine with no engine locks
+// held beyond the compile-configuration read lock — it must not call
+// SetLimits, ResetSamples or EnableSanitizer on the same Program.
+type FaultHook func(*EvalFault)
+
+// crashDirVal is the process-wide crash-bundle directory (SetCrashDir);
+// programs without an explicit hook write bundles here.
+var crashDirVal atomic.Pointer[string]
+
+// SetCrashDir routes a crash-repro bundle for every contained panic- or
+// deadline-class fault (on any Program without its own FaultHook) into dir.
+// An empty dir disables the default sink.
+func SetCrashDir(dir string) {
+	if dir == "" {
+		crashDirVal.Store(nil)
+		return
+	}
+	crashDirVal.Store(&dir)
+}
+
+func crashDir() string {
+	if p := crashDirVal.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// CrashBundle is the on-disk crash-repro format: everything `autophase
+// replay` needs to rebuild the faulting compile — the program (by name,
+// with the unoptimized IR inlined when cheap), the pass sequence, and the
+// fault evidence.
+type CrashBundle struct {
+	Version  int    `json:"version"`
+	Program  string `json:"program"`
+	Kind     string `json:"kind"`
+	Stage    string `json:"stage"`
+	Pass     int    `json:"pass"`
+	Pos      int    `json:"pos"`
+	Seq      []int  `json:"seq"`
+	Err      string `json:"err"`
+	Stack    string `json:"stack,omitempty"`
+	BeforeIR string `json:"before_ir,omitempty"`
+}
+
+// bundleIRCap bounds the inlined IR text: "before-IR when cheap".
+const bundleIRCap = 256 << 10
+
+// WriteCrashBundle serializes the fault (plus p's unoptimized IR, when it
+// fits) into dir and returns the bundle path. The filename is a pure
+// function of the fault, so replays of the same fault overwrite rather
+// than accumulate.
+func WriteCrashBundle(dir string, p *Program, f *EvalFault) (string, error) {
+	b := &CrashBundle{
+		Version: 1, Program: f.Program, Kind: f.Kind.String(), Stage: f.Stage,
+		Pass: f.Pass, Pos: f.Pos, Seq: f.Seq, Err: f.Err, Stack: f.Stack,
+	}
+	if p != nil {
+		if ir := p.orig.String(); len(ir) <= bundleIRCap {
+			b.BeforeIR = ir
+		}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("crash-%s-%s-%s.json",
+		sanitizeName(f.Program), f.Kind, seqHash(f.Seq))
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadCrashBundle loads and validates a bundle written by WriteCrashBundle.
+func ReadCrashBundle(path string) (*CrashBundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b CrashBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("core: bad crash bundle %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("core: crash bundle %s: unsupported version %d", path, b.Version)
+	}
+	if err := passes.CheckSeq(b.Seq); err != nil {
+		return nil, fmt.Errorf("core: crash bundle %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+// seqHash is a short FNV-1a digest of the sequence, for bundle filenames.
+func seqHash(seq []int) string {
+	h := uint64(1469598103934665603)
+	for _, s := range seq {
+		h = (h ^ uint64(uint32(s))) * 1099511628211
+	}
+	return fmt.Sprintf("%08x", uint32(h)^uint32(h>>32))
+}

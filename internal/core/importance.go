@@ -47,6 +47,7 @@ func CollectTuplesParallel(programs []*Program, episodes, episodeLen int, rng *r
 		}
 	}
 	runIndexed(len(eps), workers, func(i int) {
+		defer func() { _ = recover() }() // a faulting episode contributes no tuples
 		ep := eps[i]
 		p := ep.prog
 		var seq []int
@@ -71,7 +72,7 @@ func CollectTuplesParallel(programs []*Program, episodes, episodeLen int, rng *r
 			cycles, feats = nc, nf
 			ep.tuples = append(ep.tuples, tu)
 		}
-	})
+	}, nil)
 	var tuples []Tuple
 	for _, ep := range eps {
 		tuples = append(tuples, ep.tuples...)

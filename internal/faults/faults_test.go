@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	sp, err := ParseSpec("pass-panic:0.01, interp-stall:0.005,profile-err:1", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Seed != 7 || sp.Rates[PassPanic] != 0.01 || sp.Rates[InterpStall] != 0.005 ||
+		sp.Rates[ProfileErr] != 1 {
+		t.Fatalf("bad spec: %+v", sp)
+	}
+	if sp, err := ParseSpec("", 1); err != nil || len(sp.Rates) != 0 {
+		t.Fatalf("empty spec: %+v, %v", sp, err)
+	}
+	for _, bad := range []string{"nonsense:0.1", "pass-panic", "pass-panic:2", "pass-panic:x"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestInactiveNeverHits(t *testing.T) {
+	Disable()
+	for i := 0; i < 1000; i++ {
+		if Hit(PassPanic) || Fail(ProfileErr) != nil {
+			t.Fatal("inactive injector hit")
+		}
+	}
+	if Draws() != nil {
+		t.Fatal("inactive injector reported draws")
+	}
+}
+
+// Same seed, same rates, same call order => identical decision streams.
+func TestDeterministicStream(t *testing.T) {
+	defer Disable()
+	sp := Spec{Seed: 42, Rates: map[Point]float64{PassPanic: 0.2, ProfileErr: 0.05}}
+	record := func() []bool {
+		if err := Enable(sp); err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 500; i++ {
+			out = append(out, Hit(PassPanic), Hit(ProfileErr))
+		}
+		return out
+	}
+	a, b := record(), record()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged between identical runs", i)
+		}
+	}
+	hits := 0
+	for _, h := range a {
+		if h {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits at rate 0.2 over 500 draws")
+	}
+}
+
+func TestRateOneAlwaysHits(t *testing.T) {
+	defer Disable()
+	if err := Enable(Spec{Seed: 1, Rates: map[Point]float64{InterpStall: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if !Hit(InterpStall) {
+			t.Fatal("rate-1 point missed")
+		}
+		if Hit(PassPanic) {
+			t.Fatal("zero-rate point hit")
+		}
+	}
+	if err := Fail(InterpStall); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fail: %v", err)
+	}
+	if Draws()[InterpStall] != 101 {
+		t.Fatalf("draw count: %v", Draws())
+	}
+}

@@ -4,7 +4,12 @@
 // space both use these indices).
 package features
 
-import "autophase/internal/ir"
+import (
+	"fmt"
+
+	"autophase/internal/faults"
+	"autophase/internal/ir"
+)
 
 // NumFeatures is the dimensionality of the feature vector (Table 2).
 const NumFeatures = 56
@@ -75,6 +80,9 @@ var Names = [NumFeatures]string{
 
 // Extract computes the 56-feature vector over every function in the module.
 func Extract(m *ir.Module) []int64 {
+	if faults.Hit(faults.FeaturePanic) {
+		panic(fmt.Errorf("%w: feature extraction", faults.ErrInjected))
+	}
 	f := make([]int64, NumFeatures)
 	for _, fn := range m.Funcs {
 		extractFunc(fn, f)

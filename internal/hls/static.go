@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"autophase/internal/analysis"
+	"autophase/internal/faults"
 	"autophase/internal/interp"
 	"autophase/internal/ir"
 )
@@ -168,8 +169,13 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 }
 
 // ProfileFast returns the static estimate when the module admits one and
-// falls back to the interpreter-backed Profile otherwise.
+// falls back to the interpreter-backed Profile otherwise. It carries the
+// profile-err fault-injection point: one draw per profile operation,
+// regardless of which path answers.
 func ProfileFast(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	if err := faults.Fail(faults.ProfileErr); err != nil {
+		return nil, fmt.Errorf("hls profile: %w", err)
+	}
 	if rep, ok := StaticProfile(m, cfg, lim); ok {
 		return rep, nil
 	}
@@ -180,6 +186,9 @@ func ProfileFast(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
 // when the static path claimed applicability but disagreed — the sanitizer
 // cross-check for the fast path. The returned report is the interpreter's.
 func ProfileChecked(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	if err := faults.Fail(faults.ProfileErr); err != nil {
+		return nil, fmt.Errorf("hls profile: %w", err)
+	}
 	static, ok := StaticProfile(m, cfg, lim)
 	rep, err := Profile(m, cfg, lim)
 	if !ok {

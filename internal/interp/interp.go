@@ -9,7 +9,9 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"time"
 
+	"autophase/internal/faults"
 	"autophase/internal/ir"
 )
 
@@ -20,6 +22,13 @@ type Limits struct {
 	MaxSteps int // total instructions executed
 	MaxDepth int // call depth
 	MaxCells int // total memory cells allocated
+	// Deadline bounds the wall-clock time of one Run; zero means unbounded.
+	// Unlike the step limit it also catches stalls whose per-step cost is
+	// pathological rather than whose step count is. It is polled every
+	// pollStride steps, so enforcement is approximate by up to one stride.
+	// A wall-clock bound is inherently nondeterministic; leave it zero when
+	// bit-identical results across runs matter more than liveness.
+	Deadline time.Duration
 }
 
 // DefaultLimits are generous enough for all bundled benchmarks.
@@ -44,17 +53,40 @@ var (
 	ErrOOB        = errors.New("interp: out-of-bounds memory access")
 	ErrNoMain     = errors.New("interp: module has no main function")
 	ErrUnreach    = errors.New("interp: executed unreachable")
+	ErrDeadline   = errors.New("interp: wall-clock deadline exceeded")
 )
+
+// pollStride is how many interpreter steps may pass between deadline (and
+// fault-injection) polls: frequent enough to bound overruns, rare enough
+// that the poll branch is invisible in the hot loop.
+const pollStride = 4096
 
 type object struct{ cells []int64 }
 
 type machine struct {
-	lim    Limits
-	steps  int
-	cells  int
-	objs   []*object
-	gaddrs map[*ir.Global]int64
-	res    *Result
+	lim      Limits
+	steps    int
+	cells    int
+	nextPoll int       // step count of the next deadline/injection poll
+	deadline time.Time // zero when Limits.Deadline is unset
+	objs     []*object
+	gaddrs   map[*ir.Global]int64
+	res      *Result
+}
+
+// poll is the strided liveness check: an injected stall and a blown
+// wall-clock deadline both surface as ErrDeadline. The first poll runs on
+// the first executed block so a sub-stride program still honours a tiny
+// deadline.
+func (m *machine) poll() error {
+	m.nextPoll = m.steps + pollStride
+	if faults.Hit(faults.InterpStall) {
+		return fmt.Errorf("%w (injected stall)", ErrDeadline)
+	}
+	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
+		return ErrDeadline
+	}
+	return nil
 }
 
 const offBits = 28 // low bits of a pointer hold the (signed-wrapped) offset
@@ -80,6 +112,9 @@ func Run(mod *ir.Module, lim Limits) (*Result, error) {
 			Blocks: make(map[*ir.Block]int64),
 			Calls:  make(map[*ir.Func]int64),
 		},
+	}
+	if lim.Deadline > 0 {
+		m.deadline = time.Now().Add(lim.Deadline)
 	}
 	for _, g := range mod.Globals {
 		n := g.NumElems()
@@ -167,6 +202,11 @@ func (m *machine) call(f *ir.Func, args []int64, depth int) (int64, error) {
 	var prev *ir.Block
 	for {
 		m.res.Blocks[blk]++
+		if m.steps >= m.nextPoll {
+			if err := m.poll(); err != nil {
+				return 0, err
+			}
+		}
 		// Phis evaluate atomically against the incoming edge.
 		phis := blk.Phis()
 		if len(phis) > 0 {

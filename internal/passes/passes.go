@@ -10,8 +10,11 @@
 package passes
 
 import (
+	"errors"
 	"fmt"
+	"runtime/debug"
 
+	"autophase/internal/faults"
 	"autophase/internal/ir"
 )
 
@@ -201,6 +204,31 @@ func ByIndex(i int) Pass {
 	}
 }
 
+// ErrInvalidPass reports a pass index outside Table 1. Callers handing
+// externally supplied sequences to the engine (CLI flags, crash bundles,
+// agent files) must validate through CheckSeq and surface this error; the
+// panic inside ByIndex remains as an internal invariant only, behind the
+// evaluation engine's containment boundary.
+var ErrInvalidPass = errors.New("passes: invalid pass index")
+
+// CheckIndex validates one Table 1 pass index.
+func CheckIndex(i int) error {
+	if i < 0 || i >= NumPasses {
+		return fmt.Errorf("%w: %d (valid range 0..%d)", ErrInvalidPass, i, NumPasses-1)
+	}
+	return nil
+}
+
+// CheckSeq validates every index of a pass sequence.
+func CheckSeq(seq []int) error {
+	for _, i := range seq {
+		if err := CheckIndex(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ByName constructs a pass from its flag name (with or without the dash).
 func ByName(name string) (Pass, error) {
 	if name == "" {
@@ -217,20 +245,56 @@ func ByName(name string) (Pass, error) {
 	return nil, fmt.Errorf("passes: unknown pass %q", name)
 }
 
+// PassPanic is the panic value Apply re-throws when a pass run panics: the
+// original value plus the attribution (which pass, at which position, with
+// what stack) the containment layer needs to build a typed fault and a
+// replayable crash bundle. It still unwinds as a panic — passes stay
+// panic-on-bug by contract — but any recover boundary above can tell
+// exactly which pass died without instrumenting the pipeline itself.
+type PassPanic struct {
+	Index int    // Table 1 index of the faulting pass
+	Pos   int    // position within the applied sequence
+	Name  string // flag name of the pass
+	Val   any    // the original panic value
+	Stack []byte // stack captured at the point of the panic
+}
+
+func (pp *PassPanic) Error() string {
+	return fmt.Sprintf("passes: panic in %s (index %d, position %d): %v", pp.Name, pp.Index, pp.Pos, pp.Val)
+}
+
 // Apply runs the pass sequence (by Table 1 index) over the module, stopping
 // early at a -terminate sentinel. It reports whether any pass changed the
-// module.
+// module. A panicking pass unwinds as a *PassPanic.
 func Apply(m *ir.Module, sequence []int) bool {
 	changed := false
-	for _, idx := range sequence {
+	for pos, idx := range sequence {
 		if idx == TerminateIndex {
 			break
 		}
-		if ByIndex(idx).Run(m) {
+		if runAttributed(m, idx, pos) {
 			changed = true
 		}
 	}
 	return changed
+}
+
+// runAttributed runs one pass, wrapping any panic (organic or injected)
+// into a *PassPanic carrying the pass identity.
+func runAttributed(m *ir.Module, idx, pos int) (changed bool) {
+	defer func() {
+		if v := recover(); v != nil {
+			if pp, ok := v.(*PassPanic); ok {
+				panic(pp) // already attributed (nested Apply)
+			}
+			panic(&PassPanic{Index: idx, Pos: pos, Name: Table1Names[idx],
+				Val: v, Stack: debug.Stack()})
+		}
+	}()
+	if faults.Hit(faults.PassPanic) {
+		panic(fmt.Errorf("%w: pass %s", faults.ErrInjected, Table1Names[idx]))
+	}
+	return ByIndex(idx).Run(m)
 }
 
 // RunSequence applies the sequence to a copy-on-write clone of base,
