@@ -27,6 +27,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -68,6 +69,7 @@ func main() {
 	budget := flag.Int("budget", 800, "sample/step budget for the chosen algorithm")
 	seqLen := flag.Int("len", 45, "maximum pass-sequence length")
 	dumpFeatures := flag.Bool("features", false, "print the 56 Table 2 features and exit")
+	dumpGraph := flag.Bool("graph-features", false, "with -features, also print the structural graph feature block")
 	passList := flag.String("passes", "", "apply this comma-separated pass list instead of searching")
 	rtl := flag.Bool("rtl", false, "emit scheduled RTL for the optimized design")
 	binding := flag.Bool("binding", false, "print the functional-unit binding report")
@@ -120,6 +122,12 @@ func main() {
 		f := features.Extract(m)
 		for i, v := range f {
 			fmt.Printf("%2d %-55s %d\n", i, features.Names[i], v)
+		}
+		if *dumpGraph {
+			g := features.ExtractGraph(m)
+			for i, v := range g {
+				fmt.Printf("g%2d %-54s %d\n", i, features.GraphNames[i], v)
+			}
 		}
 		return
 	}
@@ -263,14 +271,28 @@ func loadModule(name string, verify bool) (*ir.Module, error) {
 	return m, nil
 }
 
+// lintDiag is the machine-readable rendering of one diagnostic for
+// `autophase lint -json`: one JSON object per line, fields empty when the
+// finding is module- or function-level.
+type lintDiag struct {
+	Severity string `json:"severity"`
+	Check    string `json:"check"`
+	Func     string `json:"func,omitempty"`
+	Block    string `json:"block,omitempty"`
+	Instr    string `json:"instr,omitempty"`
+	Msg      string `json:"msg"`
+}
+
 // runLint is the `autophase lint` subcommand: load a program, run the
-// collect-all verifier plus the dataflow analyses, and print every
-// diagnostic. Exit status 1 when any Error-severity diagnostic fired.
+// collect-all verifier, the dataflow analyses and the interprocedural
+// checks, and print every diagnostic. Exit status 1 when any Error-severity
+// diagnostic fired; 0 otherwise (warnings alone never fail the lint).
 func runLint(args []string) {
 	fs := flag.NewFlagSet("lint", flag.ExitOnError)
 	prog := fs.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
 	passList := fs.String("passes", "", "apply this comma-separated pass list before analyzing")
 	stats := fs.Bool("stats", false, "also print per-function analysis statistics")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic line (exit 1 on errors, as in text mode)")
 	fs.Parse(args)
 
 	m, err := loadModule(*prog, false)
@@ -285,6 +307,20 @@ func runLint(args []string) {
 		passes.Apply(m, seq)
 	}
 	diags := analysis.VerifyAll(m)
+	diags = append(diags, analysis.VerifyAttrs(m)...)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			enc.Encode(lintDiag{
+				Severity: d.Sev.String(), Check: d.Check,
+				Func: d.Func, Block: d.Block, Instr: d.Instr, Msg: d.Msg,
+			})
+		}
+		if diags.HasErrors() {
+			os.Exit(1)
+		}
+		return
+	}
 	if len(diags) > 0 {
 		fmt.Print(diags.String())
 	}

@@ -1,0 +1,376 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// mutualFixture: main -> even <-> odd, plus an uncalled helper.
+func mutualFixture() *ir.Module {
+	m := ir.NewModule("mutual")
+	even := m.NewFunc("even", ir.I32, ir.I32)
+	odd := m.NewFunc("odd", ir.I32, ir.I32)
+	b := ir.NewBuilder()
+
+	buildHalf := func(f, other *ir.Func, base int64) {
+		entry := f.NewBlock("entry")
+		done := f.NewBlock("base")
+		rec := f.NewBlock("rec")
+		b.SetInsert(entry)
+		c := b.ICmp(ir.CmpEQ, f.Params[0], ir.ConstInt(ir.I32, 0))
+		b.CondBr(c, done, rec)
+		b.SetInsert(done)
+		b.Ret(ir.ConstInt(ir.I32, base))
+		b.SetInsert(rec)
+		n1 := b.Sub(f.Params[0], ir.ConstInt(ir.I32, 1))
+		b.Ret(b.Call(other, n1))
+	}
+	buildHalf(even, odd, 1)
+	buildHalf(odd, even, 0)
+
+	loner := m.NewFunc("loner", ir.I32)
+	b.SetInsert(loner.NewBlock("entry"))
+	b.Ret(ir.ConstInt(ir.I32, 9))
+
+	main := m.NewFunc("main", ir.I32)
+	b.SetInsert(main.NewBlock("entry"))
+	b.Ret(b.Call(even, ir.ConstInt(ir.I32, 8)))
+	return m
+}
+
+func TestCallGraphStructure(t *testing.T) {
+	m := mutualFixture()
+	cg := analysis.ComputeCallGraph(m)
+
+	even, odd, main := m.Func("even"), m.Func("odd"), m.Func("main")
+	if len(cg.Nodes) != len(m.Funcs) {
+		t.Fatalf("got %d nodes, want %d", len(cg.Nodes), len(m.Funcs))
+	}
+	if !cg.Recursive(even) || !cg.Recursive(odd) {
+		t.Error("even/odd form a recursive component")
+	}
+	if cg.Recursive(main) || cg.Recursive(m.Func("loner")) {
+		t.Error("main and loner are not recursive")
+	}
+	ne, nm := cg.ByFunc[even], cg.ByFunc[main]
+	if ne.SCC != cg.ByFunc[odd].SCC {
+		t.Error("even and odd must share an SCC")
+	}
+	if len(cg.SCCs[ne.SCC]) != 2 {
+		t.Errorf("even/odd SCC size = %d, want 2", len(cg.SCCs[ne.SCC]))
+	}
+	// SCCs are ordered callees-first: even/odd's component precedes main's.
+	if ne.SCC >= nm.SCC {
+		t.Errorf("callee SCC %d not before caller SCC %d", ne.SCC, nm.SCC)
+	}
+	if nm.FanOut() != 1 || ne.FanIn() != 2 { // called by odd and main
+		t.Errorf("fan-out(main)=%d fan-in(even)=%d, want 1 and 2", nm.FanOut(), ne.FanIn())
+	}
+	reach := cg.ReachableFrom(main)
+	if !reach[even] || !reach[odd] || !reach[main] {
+		t.Error("even, odd and main are reachable from main")
+	}
+	if reach[m.Func("loner")] {
+		t.Error("loner must not be reachable from main")
+	}
+}
+
+// effectsFixture covers the summary lattice: a pure helper, global
+// readers/writers, a pointer-param writer, a possible trap and an
+// infinitely recursive helper.
+func effectsFixture() (*ir.Module, *ir.Global) {
+	m := ir.NewModule("eff")
+	g := m.NewGlobal("g", ir.ArrayOf(ir.I32, 4), nil, false)
+	b := ir.NewBuilder()
+
+	square := m.NewFunc("square", ir.I32, ir.I32)
+	b.SetInsert(square.NewBlock("entry"))
+	b.Ret(b.Mul(square.Params[0], square.Params[0]))
+
+	getg := m.NewFunc("getg", ir.I32)
+	b.SetInsert(getg.NewBlock("entry"))
+	b.Ret(b.Load(b.GEP(g, ir.ConstInt(ir.I32, 0))))
+
+	setg := m.NewFunc("setg", ir.I32, ir.I32)
+	b.SetInsert(setg.NewBlock("entry"))
+	b.Store(setg.Params[0], b.GEP(g, ir.ConstInt(ir.I32, 1)))
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	sink := m.NewFunc("sink", ir.I32, ir.PointerTo(ir.I32), ir.I32)
+	b.SetInsert(sink.NewBlock("entry"))
+	b.Store(sink.Params[1], sink.Params[0])
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	div := m.NewFunc("div", ir.I32, ir.I32, ir.I32)
+	b.SetInsert(div.NewBlock("entry"))
+	b.Ret(b.SDiv(div.Params[0], div.Params[1]))
+
+	spin := m.NewFunc("spin", ir.I32)
+	b.SetInsert(spin.NewBlock("entry"))
+	b.Ret(b.Call(spin))
+
+	main := m.NewFunc("main", ir.I32)
+	b.SetInsert(main.NewBlock("entry"))
+	buf := b.Alloca(ir.ArrayOf(ir.I32, 2))
+	b.Call(sink, b.GEP(buf, ir.ConstInt(ir.I32, 0)), ir.ConstInt(ir.I32, 5))
+	s := b.Call(square, ir.ConstInt(ir.I32, 3))
+	b.Call(setg, s)
+	b.Ret(b.Call(getg))
+	return m, g
+}
+
+func TestEffectsSummaries(t *testing.T) {
+	m, g := effectsFixture()
+	s := analysis.ComputeEffects(m)
+
+	sq := s.Of(m.Func("square"))
+	if !sq.Pure() || sq.ReadsMemory() || sq.WritesMemory() {
+		t.Errorf("square must be pure, got %s", sq)
+	}
+	ge := s.Of(m.Func("getg"))
+	if !ge.ReadsGlobals[g] || ge.WritesMemory() || !ge.Pure() {
+		t.Errorf("getg must read @g and nothing else, got %s", ge)
+	}
+	se := s.Of(m.Func("setg"))
+	if !se.WritesGlobals[g] || se.Pure() {
+		t.Errorf("setg must write @g, got %s", se)
+	}
+	sk := s.Of(m.Func("sink"))
+	if !sk.WritesParams || sk.WritesUnknown || len(sk.WritesGlobals) != 0 {
+		t.Errorf("sink writes only through its pointer param, got %s", sk)
+	}
+	de := s.Of(m.Func("div"))
+	if !de.MayPanic || de.WritesMemory() {
+		t.Errorf("div may trap on a zero divisor, got %s", de)
+	}
+	sp := s.Of(m.Func("spin"))
+	if !sp.MayNotTerminate {
+		t.Errorf("spin is infinitely recursive, got %s", sp)
+	}
+	// main inherits: setg's global write, getg's global read. sink's
+	// param-mediated write lands in main's own alloca, which is invisible
+	// to main's callers — but the conservative merge may keep WritesParams
+	// only if main itself has pointer params (it has none).
+	me := s.Of(m.Func("main"))
+	if !me.WritesGlobals[g] || !me.ReadsGlobals[g] {
+		t.Errorf("main must inherit the @g access from its callees, got %s", me)
+	}
+	if me.MayPanic || me.MayNotTerminate {
+		t.Errorf("main calls no trapping or diverging function, got %s", me)
+	}
+}
+
+// TestAvailLoadsRefinement: a call to a function with no visible writes
+// preserves available loads only under summaries; the summary-free
+// solution kills them (the pre-interprocedural behavior).
+func TestAvailLoadsRefinement(t *testing.T) {
+	m := ir.NewModule("avail")
+	g := m.NewGlobal("g", ir.ArrayOf(ir.I32, 4), nil, false)
+	b := ir.NewBuilder()
+
+	id := m.NewFunc("id", ir.I32, ir.I32)
+	b.SetInsert(id.NewBlock("entry"))
+	b.Ret(id.Params[0])
+
+	wr := m.NewFunc("wr", ir.I32)
+	b.SetInsert(wr.NewBlock("entry"))
+	b.Store(ir.ConstInt(ir.I32, 7), b.GEP(g, ir.ConstInt(ir.I32, 0)))
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	main := m.NewFunc("main", ir.I32)
+	entry := main.NewBlock("entry")
+	mid := main.NewBlock("mid")
+	last := main.NewBlock("last")
+	b.SetInsert(entry)
+	gp := b.GEP(g, ir.ConstInt(ir.I32, 0))
+	ld := b.Load(gp)
+	b.Call(id, ld)
+	b.Br(mid)
+	b.SetInsert(mid)
+	b.Call(wr)
+	b.Br(last)
+	b.SetInsert(last)
+	ld2 := b.Load(gp)
+	b.Ret(ld2)
+
+	key := analysis.LoadKey(ld)
+	s := analysis.ComputeEffects(m)
+	base := analysis.ComputeAvailLoads(main, nil)
+	aware := analysis.ComputeAvailLoads(main, s)
+
+	// After the pure call (entry -> mid): only the summary-aware solution
+	// keeps the load.
+	if base.AvailableAt(key, mid) {
+		t.Error("summary-free analysis must kill the load at the @id call")
+	}
+	if !aware.AvailableAt(key, mid) {
+		t.Error("summaries must preserve the load across the @id call (no visible writes)")
+	}
+	// After @wr (mid -> last): both must kill it — @wr writes @g.
+	if base.AvailableAt(key, last) || aware.AvailableAt(key, last) {
+		t.Error("the @wr call writes @g and must kill the load in both solutions")
+	}
+}
+
+func TestIPAChecks(t *testing.T) {
+	m := ir.NewModule("ipalint")
+	g := m.NewGlobal("wo", ir.ArrayOf(ir.I32, 2), nil, false)
+	b := ir.NewBuilder()
+
+	dead := m.NewFunc("dead", ir.I32)
+	b.SetInsert(dead.NewBlock("entry"))
+	b.Ret(ir.ConstInt(ir.I32, 1))
+
+	square := m.NewFunc("square", ir.I32, ir.I32)
+	b.SetInsert(square.NewBlock("entry"))
+	b.Ret(b.Mul(square.Params[0], square.Params[0]))
+
+	spin := m.NewFunc("spin", ir.I32)
+	b.SetInsert(spin.NewBlock("entry"))
+	b.Ret(b.Call(spin))
+
+	main := m.NewFunc("main", ir.I32)
+	b.SetInsert(main.NewBlock("entry"))
+	b.Call(square, ir.ConstInt(ir.I32, 3)) // result unused
+	b.Call(spin)
+	b.Store(ir.ConstInt(ir.I32, 1), b.GEP(g, ir.ConstInt(ir.I32, 0)))
+	b.Ret(ir.ConstInt(ir.I32, 0))
+
+	ds := analysis.VerifyAll(m)
+	if ds.HasErrors() {
+		t.Fatalf("fixture must be structurally clean:\n%s", ds.Errors())
+	}
+	for _, check := range []string{
+		analysis.CheckUnreachableFunc,
+		analysis.CheckInfiniteRecursion,
+		analysis.CheckPureResultUnused,
+		analysis.CheckGlobalNeverRead,
+	} {
+		found := ds.ByCheck(check)
+		if len(found) == 0 {
+			t.Errorf("expected a %s diagnostic", check)
+			continue
+		}
+		for _, d := range found {
+			if d.Sev != analysis.Warning {
+				t.Errorf("%s must be Warning severity, got %s", check, d.Sev)
+			}
+		}
+	}
+}
+
+func TestVerifyAttrsOverclaim(t *testing.T) {
+	m, _ := effectsFixture()
+	if ds := analysis.VerifyAttrs(m); len(ds.Errors()) != 0 {
+		t.Fatalf("no attributes set, no overclaim possible:\n%s", ds)
+	}
+	m.Func("setg").Attrs.ReadNone = true
+	m.Func("div").Attrs.NoTrap = true
+	ds := analysis.VerifyAttrs(m)
+	if got := len(ds.ByCheck(analysis.CheckAttrOverclaim)); got != 2 {
+		t.Fatalf("want 2 %s errors (setg readnone, div notrap), got %d:\n%s",
+			analysis.CheckAttrOverclaim, got, ds)
+	}
+	if !ds.HasErrors() {
+		t.Error("attr overclaims are Error severity")
+	}
+}
+
+// TestModuleEffectsCache: summaries are keyed by module fingerprint, so a
+// mutated callee can never be served a stale summary.
+func TestModuleEffectsCache(t *testing.T) {
+	analysis.ResetEffectsCache()
+	m, g := effectsFixture()
+
+	s1 := analysis.ModuleEffects(m)
+	if !s1.Funcs["square"].Pure() {
+		t.Fatalf("square must summarize pure, got %+v", s1.Funcs["square"])
+	}
+	if s2 := analysis.ModuleEffects(m); s2 != s1 {
+		t.Error("unchanged module must hit the cache (same summary instance)")
+	}
+	if analysis.EffectsCacheLen() != 1 {
+		t.Errorf("cache holds %d summaries, want 1", analysis.EffectsCacheLen())
+	}
+
+	// Mutate the callee in place: square now writes @g.
+	sq := m.Func("square")
+	entry := sq.Entry()
+	ret := entry.Term()
+	entry.Remove(ret)
+	b := ir.NewBuilder()
+	b.SetInsert(entry)
+	b.Store(ir.ConstInt(ir.I32, 1), b.GEP(g, ir.ConstInt(ir.I32, 2)))
+	entry.Append(ret)
+
+	s3 := analysis.ModuleEffects(m)
+	if s3 == s1 || s3.Fingerprint == s1.Fingerprint {
+		t.Fatal("mutated module must miss the cache under a new fingerprint")
+	}
+	if s3.Funcs["square"].Pure() {
+		t.Error("mutated square writes @g and must no longer be pure")
+	}
+	if got := s3.Funcs["square"].WritesGlobals; len(got) != 1 || got[0] != "g" {
+		t.Errorf("square WritesGlobals = %v, want [g]", got)
+	}
+	// The caller's transitive summary must see the new write too.
+	found := false
+	for _, n := range s3.Funcs["main"].WritesGlobals {
+		if n == "g" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("main's summary must inherit square's new @g write")
+	}
+	if analysis.EffectsCacheLen() != 2 {
+		t.Errorf("cache holds %d summaries, want 2", analysis.EffectsCacheLen())
+	}
+	analysis.ResetEffectsCache()
+}
+
+// TestAvailLoadsRefinementSweep is the differential guarantee over the real
+// corpus: on every benchmark under every pipeline, the summary-aware
+// available-load facts contain the summary-free facts block for block, and
+// somewhere in the corpus the containment is strict.
+func TestAvailLoadsRefinementSweep(t *testing.T) {
+	preludes := map[string][]int{
+		"mem2reg":       {38},
+		"canonicalized": {38, 31, 30, 29, 23, 30},
+		"o3":            passes.O3Sequence,
+	}
+	strict := 0
+	for _, name := range progen.BenchmarkNames {
+		for pname, seq := range preludes {
+			m := progen.Benchmark(name)
+			passes.Apply(m, seq)
+			s := analysis.ComputeEffects(m)
+			for _, f := range m.Funcs {
+				if len(f.Blocks) == 0 {
+					continue
+				}
+				base := analysis.ComputeAvailLoads(f, nil)
+				aware := analysis.ComputeAvailLoads(f, s)
+				for _, b := range f.Blocks {
+					for key := range base.In[b] {
+						if !aware.In[b].Has(key) {
+							t.Fatalf("%s/%s @%s/%s: summary-aware facts lost %q present without summaries",
+								name, pname, f.Name, b.Label(), key)
+						}
+					}
+					if len(aware.In[b]) > len(base.In[b]) {
+						strict++
+					}
+				}
+			}
+		}
+	}
+	if strict == 0 {
+		t.Fatal("summaries refined nothing anywhere in the corpus; the interprocedural layer is inert")
+	}
+	t.Logf("summary-aware facts strictly larger on %d blocks across the corpus", strict)
+}

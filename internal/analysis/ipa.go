@@ -1,0 +1,113 @@
+package analysis
+
+import "autophase/internal/ir"
+
+// verifyIPA runs the interprocedural lint layer: checks that need the call
+// graph or the effect summaries and therefore only make sense on a module
+// whose per-function structure already verified clean.
+func verifyIPA(c *collector, m *ir.Module) {
+	s := ComputeEffects(m)
+	cg := s.CG
+
+	// ipa.unreachable-func: a function main can never call (directly or
+	// transitively) is dead weight — and dead weight still counts into the
+	// feature histograms and cycle estimates.
+	if entry := m.Func("main"); entry != nil {
+		reach := cg.ReachableFrom(entry)
+		for _, f := range m.Funcs {
+			if !reach[f] {
+				c.fn = f
+				c.warnf(CheckUnreachableFunc, nil, nil, "function is unreachable from @main")
+			}
+		}
+	}
+
+	for _, f := range m.Funcs {
+		c.fn = f
+		// ipa.infinite-recursion: the function is recursive and every path
+		// from entry performs a recursive call before any return, so every
+		// invocation descends again — the recursion can never bottom out.
+		if cg.Recursive(f) && mustRecurse(cg, f) {
+			c.warnf(CheckInfiniteRecursion, nil, nil,
+				"every path from entry recurses before any return")
+		}
+		// ipa.pure-result-unused: the call computes a value nobody reads
+		// and the callee has no effects, so the whole call is dead work.
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Callee == nil || in.Ty.IsVoid() {
+					continue
+				}
+				ce := s.Of(in.Callee)
+				if ce != nil && ce.Pure() && f.UseCount(in) == 0 {
+					c.warnf(CheckPureResultUnused, b, in,
+						"result of call to pure @%s is never used", in.Callee.Name)
+				}
+			}
+		}
+	}
+	c.fn = nil
+
+	// ipa.global-never-read: no function in the module ever loads from the
+	// global. Proven only when no summary reads through an unresolvable
+	// pointer — one unknown read anywhere could reach any global.
+	anyUnknownRead := false
+	read := make(map[*ir.Global]bool)
+	for _, f := range m.Funcs {
+		e := s.Of(f)
+		anyUnknownRead = anyUnknownRead || e.ReadsUnknown || e.ReadsParams
+		for g := range e.ReadsGlobals {
+			read[g] = true
+		}
+	}
+	if !anyUnknownRead {
+		for _, g := range m.Globals {
+			if !read[g] {
+				c.warnf(CheckGlobalNeverRead, nil, nil, "global @%s is never read", g.Name)
+			}
+		}
+	}
+}
+
+// mustRecurse reports whether every execution of f that reaches a return
+// must first execute a call inside f's own call-graph component. Blocks are
+// explored from the entry; a block whose in-component call precedes any
+// return "blocks" the walk — execution past that point has already
+// recursed. If no return is reachable through unblocked blocks, every
+// invocation recurses.
+func mustRecurse(cg *CallGraph, f *ir.Func) bool {
+	n := cg.ByFunc[f]
+	if n == nil || len(f.Blocks) == 0 {
+		return false
+	}
+	inComp := func(callee *ir.Func) bool {
+		cn := cg.ByFunc[callee]
+		return cn != nil && cn.SCC == n.SCC
+	}
+	seen := map[*ir.Block]bool{f.Entry(): true}
+	work := []*ir.Block{f.Entry()}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		blocked := false
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpRet {
+				return false // a return precedes any recursive call
+			}
+			if in.Op == ir.OpCall && in.Callee != nil && inComp(in.Callee) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		for _, succ := range b.Succs() {
+			if !seen[succ] {
+				seen[succ] = true
+				work = append(work, succ)
+			}
+		}
+	}
+	return true
+}

@@ -90,12 +90,13 @@ const refineDepth = 6
 
 // Ranges holds the per-function value-range results.
 type Ranges struct {
-	fn     *ir.Func
-	scev   *SCEV
-	of     map[ir.Value]Interval
-	grown  map[ir.Value]int
-	pinned map[ir.Value]bool
-	conds  map[*ir.Block][]pathCond
+	fn      *ir.Func
+	scev    *SCEV
+	of      map[ir.Value]Interval
+	grown   map[ir.Value]int
+	pinned  map[ir.Value]bool
+	conds   map[*ir.Block][]pathCond
+	callRet func(*ir.Instr) Interval
 }
 
 // pathCond is a branch condition known to hold on entry to a block: the
@@ -117,6 +118,15 @@ func ComputeRanges(f *ir.Func) *Ranges { return ComputeRangesHint(f, nil) }
 // hints let callers model a known calling context, e.g. the interpreter
 // invoking main with all-zero arguments.
 func ComputeRangesHint(f *ir.Func, hints []Interval) *Ranges {
+	return ComputeRangesCtx(f, hints, nil)
+}
+
+// ComputeRangesCtx additionally takes a callee-return hook consulted for
+// every OpCall: it must return a sound interval for the raw value the call
+// may return (Full when unknown). A nil hook keeps calls at Full. This is
+// how the interprocedural static-profile layer threads callee result ranges
+// back into the caller without the range analysis knowing about summaries.
+func ComputeRangesCtx(f *ir.Func, hints []Interval, callRet func(*ir.Instr) Interval) *Ranges {
 	r := &Ranges{
 		fn:     f,
 		of:     make(map[ir.Value]Interval),
@@ -124,6 +134,7 @@ func ComputeRangesHint(f *ir.Func, hints []Interval) *Ranges {
 		pinned: make(map[ir.Value]bool),
 		conds:  make(map[*ir.Block][]pathCond),
 	}
+	r.callRet = callRet
 	if len(f.Blocks) == 0 {
 		return r
 	}
@@ -261,7 +272,11 @@ func (r *Ranges) eval(in *ir.Instr, get func(ir.Value) Interval) Interval {
 		return typeInterval(ty)
 	case in.Op == ir.OpCall:
 		// Returned values travel raw (a callee may return a non-canonical
-		// icmp bit), so not even the type bound applies.
+		// icmp bit), so not even the type bound applies — unless a
+		// callee-return hook supplies a context-derived interval.
+		if r.callRet != nil {
+			return r.callRet(in)
+		}
 		return Full
 	}
 	return Full
@@ -303,13 +318,23 @@ func evalBinaryIvl(op ir.Op, ty *ir.Type, a, b Interval) Interval {
 			}
 		}
 	case ir.OpAnd:
-		// Both operands non-negative: the result is bounded by each.
-		if a.Lo >= 0 && b.Lo >= 0 {
-			m := a.Hi
-			if b.Hi < m {
-				m = b.Hi
+		// A non-negative operand bounds the result on its own: when m >= 0
+		// the mask clears the sign bit and every bit above m's highest, so
+		// the raw x & m lies in [0, m] for ANY x — the masking idiom
+		// (x & 63) needs no knowledge of x. Sound only while truncation to
+		// ty is the identity over the bound.
+		m := int64(-1)
+		if a.Lo >= 0 {
+			m = a.Hi
+		}
+		if b.Lo >= 0 && (m < 0 || b.Hi < m) {
+			m = b.Hi
+		}
+		if m >= 0 {
+			out := Interval{0, m}
+			if typeInterval(ty).ContainsIvl(out) {
+				return out
 			}
-			return Interval{0, m}
 		}
 		return typeInterval(ty)
 	case ir.OpSRem:

@@ -42,6 +42,16 @@ const (
 	CheckRangeDivZero = "range.div-by-zero"       // divisor is provably always zero
 	CheckRangeShift   = "range.shift-oversized"   // shift amount provably >= width or negative
 	CheckRangeInfLoop = "range.infinite-loop"     // loop exit condition provably never fires
+
+	// Interprocedural lints (Warning severity except attr-overclaim),
+	// computed over the call graph and effect summaries. They only run on
+	// structurally clean modules — a broken CFG would make the call graph
+	// and the summaries nonsense.
+	CheckUnreachableFunc   = "ipa.unreachable-func"   // function unreachable from main through call edges
+	CheckInfiniteRecursion = "ipa.infinite-recursion" // every path from entry recurses before any return
+	CheckPureResultUnused  = "ipa.pure-result-unused" // call to a pure function whose result is never used
+	CheckGlobalNeverRead   = "ipa.global-never-read"  // global no function ever provably reads
+	CheckAttrOverclaim     = "ipa.attr-overclaim"     // derived attribute stronger than the effect summary allows (Error)
 )
 
 // VerifyAll checks every structural invariant ir.Verify enforces, plus the
@@ -59,6 +69,9 @@ func VerifyAll(m *ir.Module) Diagnostics {
 		verifyFuncAll(&c, m, f)
 	}
 	c.fn = nil
+	if !c.diags.HasErrors() {
+		verifyIPA(&c, m)
+	}
 	return c.diags
 }
 

@@ -80,6 +80,10 @@ type Program struct {
 	// is pure in the IR, so IR-equal modules share one extraction.
 	featMemo features.Memo
 
+	// graphMemo memoizes the opt-in graph feature block, also by
+	// fingerprint, in its own keyspace (the vectors have different shapes).
+	graphMemo features.Memo
+
 	irMu    sync.Mutex
 	irCache map[string]irEntry // optimized IR + fingerprint per sequence prefix
 	irOrder []string           // irCache keys in insertion order (eviction)
@@ -864,6 +868,7 @@ func (p *Program) ResetSamples(dropCache bool) {
 		p.fpOrder = nil
 		p.fpMu.Unlock()
 		p.featMemo.Reset()
+		p.graphMemo.Reset()
 		p.quarMu.Lock()
 		p.quar = nil
 		p.quarMu.Unlock()
@@ -983,6 +988,12 @@ type EnvConfig struct {
 	// no samples are consumed. InferGreedy uses it to reach the paper's
 	// 1 sample per program (Figure 9).
 	NoProfile bool
+	// GraphObs appends the structural graph feature block (CFG shape, loop
+	// nesting, call-graph topology, effect aggregates — see
+	// features.GraphNames) to the feature section of the observation. Off
+	// by default: the paper's 56-feature observation stays bit-identical
+	// unless an experiment opts in.
+	GraphObs bool
 }
 
 // DefaultEnv matches the per-program evaluation setting of §6.1.
@@ -1033,6 +1044,22 @@ func (c EnvConfig) normalizeFeatures(raw []int64) []float64 {
 	default:
 		for i, fi := range idx {
 			out[i] = float64(raw[fi])
+		}
+	}
+	return out
+}
+
+// normalizeGraph maps the raw graph feature block into observation space.
+// NormLog applies the same log(1+x) squash as the 56-feature block;
+// NormTotal has no meaningful denominator here (the block carries no
+// instruction count), so graph features pass through raw under it.
+func (c EnvConfig) normalizeGraph(raw []int64) []float64 {
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		if c.Norm == NormLog {
+			out[i] = math.Log1p(float64(v))
+		} else {
+			out[i] = float64(v)
 		}
 	}
 	return out
@@ -1092,4 +1119,42 @@ func (p *Program) FeaturesAfter(seq []int) []int64 {
 		return make([]int64, features.NumFeatures)
 	}
 	return f
+}
+
+// GraphFeaturesAfter is FeaturesAfter for the opt-in graph feature block:
+// it applies the sequence and extracts the structural features, memoized by
+// the resulting IR fingerprint, without ever invoking the profiler. Like
+// FeaturesAfter it degrades to an all-zero observation on any fault — it
+// feeds observations, where a crash would cost the whole rollout.
+func (p *Program) GraphFeaturesAfter(seq []int) (out []int64) {
+	defer func() {
+		if recover() != nil {
+			out = make([]int64, features.NumGraphFeatures)
+		}
+	}()
+	key := seqKey(seq)
+	if passes.CheckSeq(seq) != nil || p.quarGet(key) != nil {
+		return make([]int64, features.NumGraphFeatures)
+	}
+	sh := &p.shards[shardIndex(key)]
+	sh.mu.RLock()
+	e, hit := sh.cache[key]
+	sh.mu.RUnlock()
+	if hit && e.ok {
+		if f := p.graphMemo.Get(e.fp); f != nil {
+			return f
+		}
+	}
+	p.cfgMu.RLock()
+	m, fp, ok, fault := p.buildIRSafe(seq, key, p.sanitize)
+	p.cfgMu.RUnlock()
+	if fault != nil {
+		return make([]int64, features.NumGraphFeatures)
+	}
+	if !ok {
+		// Sanitizer-flagged sequence: observe the corrupted module without
+		// polluting the fingerprint-keyed memo.
+		return features.ExtractGraph(m)
+	}
+	return p.graphMemo.ExtractGraph(m, fp)
 }

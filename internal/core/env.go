@@ -1,6 +1,9 @@
 package core
 
-import "autophase/internal/passes"
+import (
+	"autophase/internal/features"
+	"autophase/internal/passes"
+)
 
 // Env is the common surface of the phase-ordering environments: the
 // gym-style subset (Reset/Step/ObsSize/ActionDims) the rl trainers consume,
@@ -57,6 +60,9 @@ func (e *PhaseEnv) ObsSize() int {
 	case ObsBoth:
 		n = len(e.Cfg.actions()) + len(e.Cfg.featIdx())
 	}
+	if e.Cfg.GraphObs && e.Cfg.Obs != ObsHistogram {
+		n += features.NumGraphFeatures
+	}
 	return n
 }
 
@@ -73,6 +79,13 @@ func (e *PhaseEnv) observe(rawFeats []int64) []float64 {
 	}
 	if e.Cfg.Obs == ObsFeatures || e.Cfg.Obs == ObsBoth {
 		obs = append(obs, e.Cfg.normalizeFeatures(rawFeats)...)
+		if e.Cfg.GraphObs {
+			// Quarantinable faults roll e.seq back before observing, so the
+			// graph block describes the same module as rawFeats everywhere
+			// except the terminal failing-compile observation, where the
+			// episode is over anyway.
+			obs = append(obs, e.Cfg.normalizeGraph(e.Program.GraphFeaturesAfter(e.seq))...)
+		}
 	}
 	return obs
 }
@@ -190,6 +203,9 @@ func (e *MultiPhaseEnv) ObsSize() int {
 	n := e.Slots
 	if e.Cfg.Obs == ObsFeatures || e.Cfg.Obs == ObsBoth {
 		n += len(e.Cfg.featIdx())
+		if e.Cfg.GraphObs {
+			n += features.NumGraphFeatures
+		}
 	}
 	return n
 }
@@ -220,6 +236,9 @@ func (e *MultiPhaseEnv) observe(rawFeats []int64) []float64 {
 	}
 	if e.Cfg.Obs == ObsFeatures || e.Cfg.Obs == ObsBoth {
 		obs = append(obs, e.Cfg.normalizeFeatures(rawFeats)...)
+		if e.Cfg.GraphObs {
+			obs = append(obs, e.Cfg.normalizeGraph(e.Program.GraphFeaturesAfter(e.sequence()))...)
+		}
 	}
 	return obs
 }

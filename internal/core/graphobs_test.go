@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"autophase/internal/features"
+	"autophase/internal/passes"
+	"autophase/internal/progen"
+)
+
+// TestGraphObsExtendsObservation: GraphObs appends exactly the graph block
+// and leaves the default observation prefix bit-identical — the opt-in can
+// never perturb the paper's 56-feature vector.
+func TestGraphObsExtendsObservation(t *testing.T) {
+	p := mustProgram(t, "blowfish")
+	base := EnvConfig{Obs: ObsBoth, Norm: NormLog, EpisodeLen: 6}
+	gcfg := base
+	gcfg.GraphObs = true
+
+	e0 := NewPhaseEnv(p, base)
+	e1 := NewPhaseEnv(p, gcfg)
+	if e1.ObsSize() != e0.ObsSize()+features.NumGraphFeatures {
+		t.Fatalf("GraphObs ObsSize %d, want %d+%d", e1.ObsSize(), e0.ObsSize(), features.NumGraphFeatures)
+	}
+	o0, o1 := e0.Reset(), e1.Reset()
+	if len(o0) != e0.ObsSize() || len(o1) != e1.ObsSize() {
+		t.Fatalf("observation lengths %d/%d do not match ObsSize %d/%d", len(o0), len(o1), e0.ObsSize(), e1.ObsSize())
+	}
+	for i := range o0 {
+		if o0[i] != o1[i] {
+			t.Fatalf("reset obs diverges at %d: %v vs %v — default prefix must be bit-identical", i, o0[i], o1[i])
+		}
+	}
+	s0, r0, d0 := e0.Step([]int{5})
+	s1, r1, d1 := e1.Step([]int{5})
+	if r0 != r1 || d0 != d1 {
+		t.Fatalf("reward/done diverge: %v/%v vs %v/%v", r0, d0, r1, d1)
+	}
+	for i := range s0 {
+		if s0[i] != s1[i] {
+			t.Fatalf("step obs diverges at %d", i)
+		}
+	}
+	tail := s1[len(s0):]
+	nonzero := false
+	for _, v := range tail {
+		if v != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Error("graph block is all zero on a call-bearing benchmark")
+	}
+
+	// Histogram-only observations carry no feature vector to extend.
+	hcfg := EnvConfig{Obs: ObsHistogram, EpisodeLen: 6, GraphObs: true}
+	eh := NewPhaseEnv(p, hcfg)
+	if eh.ObsSize() != passes.NumActions {
+		t.Errorf("GraphObs must not extend histogram-only observations: %d", eh.ObsSize())
+	}
+}
+
+// TestGraphObsMultiEnv mirrors the PhaseEnv guarantees on MultiPhaseEnv.
+func TestGraphObsMultiEnv(t *testing.T) {
+	p := mustProgram(t, "dhrystone")
+	base := EnvConfig{Obs: ObsFeatures, Norm: NormTotal, EpisodeLen: 4}
+	gcfg := base
+	gcfg.GraphObs = true
+
+	m0 := NewMultiPhaseEnv(p, base, 6, 3)
+	m1 := NewMultiPhaseEnv(p, gcfg, 6, 3)
+	if m1.ObsSize() != m0.ObsSize()+features.NumGraphFeatures {
+		t.Fatalf("GraphObs ObsSize %d, want %d+%d", m1.ObsSize(), m0.ObsSize(), features.NumGraphFeatures)
+	}
+	o0, o1 := m0.Reset(), m1.Reset()
+	if len(o0) != m0.ObsSize() || len(o1) != m1.ObsSize() {
+		t.Fatalf("observation lengths %d/%d do not match ObsSize %d/%d", len(o0), len(o1), m0.ObsSize(), m1.ObsSize())
+	}
+	for i := range o0 {
+		if o0[i] != o1[i] {
+			t.Fatalf("reset obs diverges at %d", i)
+		}
+	}
+}
+
+// TestGraphFeaturesAfter pins the Program-level accessor to the direct
+// extraction and its fault behavior.
+func TestGraphFeaturesAfter(t *testing.T) {
+	p := mustProgram(t, "qsort")
+	seq := []int{38}
+	g := p.GraphFeaturesAfter(seq)
+	if len(g) != features.NumGraphFeatures {
+		t.Fatalf("got %d graph features, want %d", len(g), features.NumGraphFeatures)
+	}
+	m := progen.Benchmark("qsort")
+	passes.Apply(m, seq)
+	want := features.ExtractGraph(m)
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("feature %d (%s) = %d, want %d", i, features.GraphNames[i], g[i], want[i])
+		}
+	}
+	if g[14] < 1 {
+		t.Error("qsort is recursive; the recursive-function count must be >= 1")
+	}
+	g2 := p.GraphFeaturesAfter(seq)
+	for i := range g {
+		if g[i] != g2[i] {
+			t.Fatal("memoized re-query returned different values")
+		}
+	}
+	bad := p.GraphFeaturesAfter([]int{9999})
+	if len(bad) != features.NumGraphFeatures {
+		t.Fatalf("invalid sequence must still yield a %d-vector", features.NumGraphFeatures)
+	}
+	for i, v := range bad {
+		if v != 0 {
+			t.Fatalf("invalid sequence must yield the zero vector, got %d at %d", v, i)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import "autophase/internal/core"
+
+// GraphObsResult is one arm of the structural-observation ablation: the
+// same PPO recipe with and without the graph feature block appended to the
+// observation vector.
+type GraphObsResult struct {
+	Name       string
+	ObsSize    int
+	Final      float64 // final episode-reward mean of the training curve
+	Mean       float64 // mean zero-shot improvement over -O3 on the test set
+	PerProgram map[string]float64
+}
+
+// GraphObsAB trains two generalizers that differ only in
+// core.EnvConfig.GraphObs and evaluates both zero-shot on the test
+// programs. Same seed, normalization and budget — any gap between the arms
+// is attributable to the extra call-graph/CFG structure in the observation.
+func GraphObsAB(train, test []*core.Program, sc Scale) []GraphObsResult {
+	base := core.EnvConfig{Obs: core.ObsBoth, Norm: core.NormTotal, EpisodeLen: sc.EpisodeLen, RewardLog: true}
+	graph := base
+	graph.GraphObs = true
+	arms := []GenSetting{
+		{Name: "flat-56", Cfg: base},
+		{Name: "flat-56+graph", Cfg: graph},
+	}
+
+	var out []GraphObsResult
+	for _, set := range arms {
+		for _, p := range train {
+			p.ResetSamples(true)
+		}
+		agent, curve := TrainGeneralizer(train, set, sc, 4242)
+		res := GraphObsResult{
+			Name:       set.Name,
+			ObsSize:    core.NewPhaseEnv(train[0], set.Cfg).ObsSize(),
+			PerProgram: make(map[string]float64, len(test)),
+		}
+		if len(curve) > 0 {
+			res.Final = curve[len(curve)-1].RewardMean
+		}
+		for _, p := range test {
+			p.ResetSamples(true)
+			_, c, ok := core.InferGreedy(p, set.Cfg, func(obs []float64) int {
+				return agent.Act(obs, true)[0]
+			})
+			if !ok {
+				c = p.O0Cycles
+			}
+			res.PerProgram[p.Name] = p.SpeedupOverO3(c)
+		}
+		res.Mean = meanImprovement(res.PerProgram)
+		out = append(out, res)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package features
+
+import (
+	"autophase/internal/analysis"
+	"autophase/internal/ir"
+)
+
+// This file is the structural (graph) feature block: CFG shape, loop
+// nesting, call-graph topology and effect-summary aggregates that the flat
+// 56-feature histogram cannot see. It is strictly opt-in — the default
+// observation stays the paper's 56 features bit for bit — and extends the
+// vector for cross-program generalization experiments.
+
+// NumGraphFeatures is the dimensionality of the graph feature block.
+const NumGraphFeatures = 20
+
+// GraphNames lists the graph feature descriptions by index.
+var GraphNames = [NumGraphFeatures]string{
+	0:  "Number of CFG nodes (basic blocks)",
+	1:  "Number of CFG edges",
+	2:  "Number of CFG back edges (target dominates source)",
+	3:  "Number of natural loops",
+	4:  "Maximum loop-nest depth",
+	5:  "Number of loops at depth 1",
+	6:  "Number of loops at depth 2",
+	7:  "Number of loops at depth >= 3",
+	8:  "Number of call-graph edges (distinct caller-callee pairs)",
+	9:  "Number of call sites",
+	10: "Maximum call-graph fan-in",
+	11: "Maximum call-graph fan-out",
+	12: "Number of call-graph SCCs",
+	13: "Size of the largest call-graph SCC",
+	14: "Number of recursive functions",
+	15: "Number of functions unreachable from main",
+	16: "Number of summarized-pure functions",
+	17: "Number of functions with no visible memory writes",
+	18: "Number of functions that may trap",
+	19: "Number of globals some function may write",
+}
+
+// ExtractGraph computes the graph feature block over the module. Like
+// Extract it is a pure function of the IR, so results may be memoized by
+// module fingerprint.
+func ExtractGraph(m *ir.Module) []int64 {
+	g := make([]int64, NumGraphFeatures)
+	for _, fn := range m.Funcs {
+		if len(fn.Blocks) == 0 {
+			continue
+		}
+		dt := ir.NewDomTree(fn)
+		g[0] += int64(len(fn.Blocks))
+		for _, b := range fn.Blocks {
+			for _, s := range b.Succs() {
+				g[1]++
+				if dt.Dominates(s, b) {
+					g[2]++
+				}
+			}
+		}
+		for _, l := range ir.FindLoops(fn, dt) {
+			g[3]++
+			if int64(l.Depth) > g[4] {
+				g[4] = int64(l.Depth)
+			}
+			switch {
+			case l.Depth == 1:
+				g[5]++
+			case l.Depth == 2:
+				g[6]++
+			default:
+				g[7]++
+			}
+		}
+	}
+
+	s := analysis.ComputeEffects(m)
+	cg := s.CG
+	for _, n := range cg.Nodes {
+		g[8] += int64(n.FanOut())
+		g[9] += int64(len(n.Sites))
+		if int64(n.FanIn()) > g[10] {
+			g[10] = int64(n.FanIn())
+		}
+		if int64(n.FanOut()) > g[11] {
+			g[11] = int64(n.FanOut())
+		}
+		if cg.Recursive(n.Fn) {
+			g[14]++
+		}
+		e := s.Of(n.Fn)
+		if e.Pure() {
+			g[16]++
+		}
+		if !e.WritesMemory() && !e.Prints {
+			g[17]++
+		}
+		if e.MayPanic {
+			g[18]++
+		}
+	}
+	g[12] = int64(len(cg.SCCs))
+	for _, scc := range cg.SCCs {
+		if int64(len(scc)) > g[13] {
+			g[13] = int64(len(scc))
+		}
+	}
+	if entry := m.Func("main"); entry != nil {
+		reach := cg.ReachableFrom(entry)
+		for _, fn := range m.Funcs {
+			if !reach[fn] {
+				g[15]++
+			}
+		}
+	}
+	written := make(map[*ir.Global]bool)
+	anyUnknown := false
+	for _, fn := range m.Funcs {
+		e := s.Of(fn)
+		anyUnknown = anyUnknown || e.WritesUnknown
+		for gl := range e.WritesGlobals {
+			written[gl] = true
+		}
+	}
+	if anyUnknown {
+		g[19] = int64(len(m.Globals)) // any global could be the target
+	} else {
+		g[19] = int64(len(written))
+	}
+	return g
+}

@@ -43,6 +43,27 @@ func (mo *Memo) Extract(m *ir.Module, fp ir.Fingerprint) []int64 {
 	return f
 }
 
+// ExtractGraph returns the graph feature block of m, memoized under fp
+// exactly like Extract — ExtractGraph is equally a pure function of the
+// module structure. Use a separate Memo instance from the 56-feature one:
+// the two vectors share the fingerprint key space but not their contents.
+func (mo *Memo) ExtractGraph(m *ir.Module, fp ir.Fingerprint) []int64 {
+	if f := mo.Get(fp); f != nil {
+		return f
+	}
+	f := ExtractGraph(m)
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if prev, ok := mo.m[fp]; ok {
+		return prev
+	}
+	if mo.m == nil {
+		mo.m = make(map[ir.Fingerprint][]int64)
+	}
+	mo.m[fp] = f
+	return f
+}
+
 // Reset drops every memoized vector.
 func (mo *Memo) Reset() {
 	mo.mu.Lock()

@@ -27,25 +27,61 @@ import (
 // so that encode/decode round-trips are lossless along the whole chain.
 const ptrOffField = 1<<28 - 1
 
-// funcStatic is the per-invocation summary of one function: how often each
-// block runs, what the run costs, and whom it calls — all independent of
-// the arguments, which is a precondition the analysis enforces (any branch
-// whose outcome the value ranges cannot pin down makes it fail).
+// funcStatic is the per-invocation summary of one function analyzed in one
+// calling context (a vector of parameter intervals): how often each block
+// runs, what the run costs, and whom it calls. Within a context the counts
+// must be invocation-independent — any branch whose outcome the value
+// ranges cannot pin down makes the analysis fail — but the same function
+// may admit summaries in one context and not another, which is what lets
+// call-heavy programs stay static: the callee is re-analyzed per call site
+// with the argument ranges that site actually supplies.
 type funcStatic struct {
 	fn         *ir.Func
-	freq       map[*ir.Block]int64 // block executions per invocation
-	steps      int64               // interpreter steps per invocation (own frame only)
-	msetCells  int64               // memset cell-counter delta per invocation
-	allocCells int64               // memory cells allocated per invocation
-	calls      map[*ir.Func]int64  // direct callee invocations per invocation
-	ret        analysis.Interval   // range of the returned value
+	key        ctxKey
+	freq       map[*ir.Block]int64   // block executions per invocation
+	steps      int64                 // interpreter steps per invocation (own frame only)
+	msetCells  int64                 // memset cell-counter delta per invocation
+	allocCells int64                 // memory cells allocated per invocation
+	calls      map[*funcStatic]int64 // callee-context invocations per invocation
+	ret        analysis.Interval     // range of the returned value
 }
 
-// staticAnalyzer memoizes per-function summaries while walking the call
-// graph; a nil memo entry records an analysis failure.
+// ctxKey identifies one (function, parameter-interval-vector) analysis
+// context; the hints render canonically so equal contexts share a summary.
+type ctxKey struct {
+	fn    *ir.Func
+	hints string
+}
+
+// staticAnalyzer memoizes per-context summaries while walking the call
+// graph; a nil memo entry records an analysis failure in that context.
+// visiting is keyed by function, not context: a cycle through any contexts
+// of the same function is recursion, and recursion depth is data-dependent.
 type staticAnalyzer struct {
-	memo     map[*ir.Func]*funcStatic
+	memo     map[ctxKey]*funcStatic
 	visiting map[*ir.Func]bool
+}
+
+// canonHints pads or trims hints to exactly one interval per parameter
+// (missing entries are Full), so context keys are canonical.
+func canonHints(f *ir.Func, hints []analysis.Interval) []analysis.Interval {
+	out := make([]analysis.Interval, len(f.Params))
+	for i := range out {
+		if i < len(hints) {
+			out[i] = hints[i]
+		} else {
+			out[i] = analysis.Full
+		}
+	}
+	return out
+}
+
+func hintString(hints []analysis.Interval) string {
+	s := ""
+	for _, h := range hints {
+		s += h.String()
+	}
+	return s
 }
 
 // StaticProfile computes the Report of Profile without running the
@@ -60,7 +96,7 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 		return nil, false
 	}
 	sa := &staticAnalyzer{
-		memo:     make(map[*ir.Func]*funcStatic),
+		memo:     make(map[ctxKey]*funcStatic),
 		visiting: make(map[*ir.Func]bool),
 	}
 	// The interpreter invokes main with zero arguments.
@@ -72,26 +108,28 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 	if !ok {
 		return nil, false
 	}
-	// Invocation counts over the (acyclic) call graph, callers first.
-	order := sa.topo(main)
-	inv := map[*ir.Func]int64{main: 1}
-	for _, f := range order {
-		n := inv[f]
+	// Invocation counts over the (acyclic) context DAG, callers first. A
+	// function analyzed under two different argument contexts appears as two
+	// nodes, each carrying its own frequencies and costs.
+	order := sa.topo(fsMain)
+	inv := map[*funcStatic]int64{fsMain: 1}
+	for _, fs := range order {
+		n := inv[fs]
 		if n == 0 {
 			continue
 		}
-		for g, c := range sa.memo[f].calls {
+		for cs, c := range fs.calls {
 			nc, ok1 := mulChk(n, c)
-			t, ok2 := addChk(inv[g], nc)
+			t, ok2 := addChk(inv[cs], nc)
 			if !ok1 || !ok2 {
 				return nil, false
 			}
-			inv[g] = t
+			inv[cs] = t
 		}
 	}
 	// Call depth: the longest invocation chain must fit MaxDepth (main runs
 	// at depth 0).
-	if sa.height(main, make(map[*ir.Func]int64)) > int64(lim.MaxDepth) {
+	if sa.height(fsMain, make(map[*funcStatic]int64)) > int64(lim.MaxDepth) {
 		return nil, false
 	}
 	// Steps, cells and the memset counter, scaled by invocation counts.
@@ -99,8 +137,8 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 	for _, g := range m.Globals {
 		cells += int64(g.NumElems())
 	}
-	for _, f := range order {
-		fs, n := sa.memo[f], inv[f]
+	for _, fs := range order {
+		n := inv[fs]
 		if n == 0 {
 			continue
 		}
@@ -125,8 +163,8 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 	// cycles = Σ freq(b)·states(b) + memset cells + one handshake per call.
 	sched := Schedule(m, cfg)
 	cycles := mset
-	for _, f := range order {
-		fs, n := sa.memo[f], inv[f]
+	for _, fs := range order {
+		n := inv[fs]
 		if n == 0 {
 			continue
 		}
@@ -222,9 +260,12 @@ func Recheck(m *ir.Module, cfg Config, lim interp.Limits, wantCycles, wantArea i
 	return nil
 }
 
-// analyze returns f's memoized summary, failing on recursion.
+// analyze returns f's memoized summary in the given calling context,
+// failing on recursion.
 func (sa *staticAnalyzer) analyze(f *ir.Func, hints []analysis.Interval) (*funcStatic, bool) {
-	if fs, seen := sa.memo[f]; seen {
+	hints = canonHints(f, hints)
+	k := ctxKey{fn: f, hints: hintString(hints)}
+	if fs, seen := sa.memo[k]; seen {
 		return fs, fs != nil
 	}
 	if sa.visiting[f] {
@@ -233,58 +274,114 @@ func (sa *staticAnalyzer) analyze(f *ir.Func, hints []analysis.Interval) (*funcS
 	sa.visiting[f] = true
 	fs := sa.analyzeFunc(f, hints)
 	delete(sa.visiting, f)
-	sa.memo[f] = fs
+	if fs != nil {
+		fs.key = k
+	}
+	sa.memo[k] = fs
 	return fs, fs != nil
 }
 
-// topo returns main's call-graph closure callers-first (the graph is
+// topo returns main's context-DAG closure callers-first (the DAG is
 // acyclic: analyze rejected recursion).
-func (sa *staticAnalyzer) topo(main *ir.Func) []*ir.Func {
-	var order []*ir.Func
-	seen := make(map[*ir.Func]bool)
-	var visit func(f *ir.Func)
-	visit = func(f *ir.Func) {
-		if seen[f] {
+func (sa *staticAnalyzer) topo(root *funcStatic) []*funcStatic {
+	var order []*funcStatic
+	seen := make(map[*funcStatic]bool)
+	var visit func(fs *funcStatic)
+	visit = func(fs *funcStatic) {
+		if seen[fs] {
 			return
 		}
-		seen[f] = true
-		for g := range sa.memo[f].calls {
-			visit(g)
+		seen[fs] = true
+		for cs := range fs.calls {
+			visit(cs)
 		}
-		order = append(order, f)
+		order = append(order, fs)
 	}
-	visit(main)
+	visit(root)
 	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
 		order[i], order[j] = order[j], order[i]
 	}
 	return order
 }
 
-// height is the longest call chain below f, in edges.
-func (sa *staticAnalyzer) height(f *ir.Func, memo map[*ir.Func]int64) int64 {
-	if h, ok := memo[f]; ok {
+// height is the longest call chain below fs, in edges.
+func (sa *staticAnalyzer) height(fs *funcStatic, memo map[*funcStatic]int64) int64 {
+	if h, ok := memo[fs]; ok {
 		return h
 	}
 	var h int64
-	for g, c := range sa.memo[f].calls {
+	for cs, c := range fs.calls {
 		if c == 0 {
 			continue
 		}
-		if gh := sa.height(g, memo) + 1; gh > h {
-			h = gh
+		if ch := sa.height(cs, memo) + 1; ch > h {
+			h = ch
 		}
 	}
-	memo[f] = h
+	memo[fs] = h
 	return h
 }
 
-// analyzeFunc computes the per-invocation summary, or nil when any executed
-// construct escapes the static model.
+// retRounds bounds the callee-return refinement iteration of analyzeFunc:
+// each round threads the callee return intervals discovered so far back
+// into the caller's range analysis, which can narrow the argument hints of
+// other call sites. Chains of call-result-into-call-argument deeper than
+// this are declined rather than analyzed with unstable ranges.
+const retRounds = 4
+
+// analyzeFunc computes the per-invocation summary in one calling context,
+// or nil when any executed construct escapes the static model.
+//
+// Call sites are resolved interprocedurally: every callee is analyzed in
+// the context of the argument intervals the site supplies (rng.At at the
+// call block), and the summarized return interval feeds back into this
+// function's range analysis through the ComputeRangesCtx hook. Because the
+// hints depend on the ranges and the ranges depend on the callee returns,
+// the two are iterated to a fixpoint: starting from Full returns (always
+// sound), each round can only use argument hints that were themselves
+// derived from sound ranges, so the final, stable round is sound too.
 func (sa *staticAnalyzer) analyzeFunc(f *ir.Func, hints []analysis.Interval) *funcStatic {
 	if len(f.Blocks) == 0 {
 		return nil
 	}
-	rng := analysis.ComputeRangesHint(f, hints)
+	siteRet := make(map[*ir.Instr]analysis.Interval)
+	siteCtx := make(map[*ir.Instr]*funcStatic)
+	var rng *analysis.Ranges
+	converged := false
+	for round := 0; round < retRounds && !converged; round++ {
+		rng = analysis.ComputeRangesCtx(f, hints, func(site *ir.Instr) analysis.Interval {
+			if iv, ok := siteRet[site]; ok {
+				return iv
+			}
+			return analysis.Full
+		})
+		converged = true
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op != ir.OpCall || in.Callee == nil ||
+					len(in.Args) != len(in.Callee.Params) {
+					continue
+				}
+				argHints := make([]analysis.Interval, len(in.Args))
+				for i, a := range in.Args {
+					argHints[i] = rng.At(a, b)
+				}
+				cs, okc := sa.analyze(in.Callee, argHints)
+				ret := analysis.Full
+				if okc {
+					ret = cs.ret
+				}
+				siteCtx[in] = cs // nil records failure in this context
+				if old, seen := siteRet[in]; !seen || old != ret {
+					siteRet[in] = ret
+					converged = false
+				}
+			}
+		}
+	}
+	if !converged {
+		return nil // unstable hint/return feedback: let the interpreter decide
+	}
 	scev := rng.SCEV()
 	rpo := scev.Dom().RPO()
 	idx := make(map[*ir.Block]int, len(rpo))
@@ -294,7 +391,7 @@ func (sa *staticAnalyzer) analyzeFunc(f *ir.Func, hints []analysis.Interval) *fu
 	fs := &funcStatic{
 		fn:    f,
 		freq:  make(map[*ir.Block]int64),
-		calls: make(map[*ir.Func]int64),
+		calls: make(map[*funcStatic]int64),
 	}
 	flow := map[*ir.Block]int64{f.Entry(): 1}
 	entries := make(map[*ir.Loop]int64)
@@ -340,7 +437,7 @@ func (sa *staticAnalyzer) analyzeFunc(f *ir.Func, hints []analysis.Interval) *fu
 			continue
 		}
 		fs.freq[b] = n
-		if !sa.scanBlock(fs, rng, b, n) {
+		if !sa.scanBlock(fs, rng, siteCtx, b, n) {
 			return nil
 		}
 		t := b.Term()
@@ -448,8 +545,10 @@ func (sa *staticAnalyzer) loopExitFlow(scev *analysis.SCEV, entries map[*ir.Loop
 
 // scanBlock accumulates the per-invocation costs of block b at frequency n
 // and proves every instruction in it safe: no trap the interpreter could
-// take, no op outside the model.
-func (sa *staticAnalyzer) scanBlock(fs *funcStatic, rng *analysis.Ranges, b *ir.Block, n int64) bool {
+// take, no op outside the model. siteCtx carries the per-call-site callee
+// contexts resolved by analyzeFunc's interprocedural pre-pass.
+func (sa *staticAnalyzer) scanBlock(fs *funcStatic, rng *analysis.Ranges,
+	siteCtx map[*ir.Instr]*funcStatic, b *ir.Block, n int64) bool {
 	var ok bool
 	if d, okm := mulChk(n, int64(len(b.Instrs))); okm {
 		fs.steps, ok = addChk(fs.steps, d)
@@ -506,13 +605,14 @@ func (sa *staticAnalyzer) scanBlock(fs *funcStatic, rng *analysis.Ranges, b *ir.
 				}
 			}
 		case in.Op == ir.OpCall:
-			if len(in.Args) != len(in.Callee.Params) {
+			if in.Callee == nil || len(in.Args) != len(in.Callee.Params) {
 				return false // a short call leaves params unbound
 			}
-			if _, okc := sa.analyze(in.Callee, nil); !okc {
-				return false
+			cs := siteCtx[in]
+			if cs == nil {
+				return false // callee not static under this site's arguments
 			}
-			fs.calls[in.Callee], ok = addChk(fs.calls[in.Callee], n)
+			fs.calls[cs], ok = addChk(fs.calls[cs], n)
 			if !ok {
 				return false
 			}

@@ -235,23 +235,68 @@ func BenchmarkTripCount(b *testing.B) {
 	})
 }
 
-// BenchmarkProfileStaticVsInterp compares the two reward paths on the
-// mem2reg'd matmul benchmark.
-func BenchmarkProfileStaticVsInterp(b *testing.B) {
-	m := mem2reg(progen.Benchmark("matmul"))
+// TestStaticProfileInterprocedural pins the interprocedural fast path on
+// the two call-bearing programs it was built for: blowfish (a benchmark
+// whose round function previously forced the interpreter on every
+// pipeline) and the callheavy stress program (a three-level call chain).
+// ProfileChecked asserts exact static/interp equality internally.
+func TestStaticProfileInterprocedural(t *testing.T) {
+	preludes := map[string][]int{
+		"mem2reg":       {38},
+		"canonicalized": {38, 31, 30, 29, 23, 30},
+		"o3":            passes.O3Sequence,
+	}
 	cfg, lim := hls.DefaultConfig, interp.DefaultLimits
-	b.Run("static", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, ok := hls.StaticProfile(m, cfg, lim); !ok {
-				b.Fatal("static path declined")
+	for _, prog := range []struct {
+		name string
+		mod  func() *ir.Module
+	}{
+		{"blowfish", func() *ir.Module { return progen.Benchmark("blowfish") }},
+		{"callheavy", progen.CallHeavy},
+	} {
+		for pname, seq := range preludes {
+			m := prog.mod()
+			passes.Apply(m, seq)
+			rep, err := hls.ProfileChecked(m, cfg, lim)
+			if err != nil {
+				t.Errorf("%s/%s: ProfileChecked: %v", prog.name, pname, err)
+				continue
+			}
+			if !rep.Static {
+				t.Errorf("%s/%s: expected the interprocedural static fast path, got the interpreter", prog.name, pname)
 			}
 		}
-	})
-	b.Run("interp", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := hls.Profile(m, cfg, lim); err != nil {
-				b.Fatal(err)
+	}
+}
+
+// BenchmarkProfileStaticVsInterp compares the two reward paths on the
+// mem2reg'd matmul benchmark plus the call-bearing blowfish and callheavy
+// programs, whose static path must pay for the interprocedural
+// context-sensitive range analysis.
+func BenchmarkProfileStaticVsInterp(b *testing.B) {
+	cfg, lim := hls.DefaultConfig, interp.DefaultLimits
+	mods := []struct {
+		name string
+		mod  *ir.Module
+	}{
+		{"matmul", mem2reg(progen.Benchmark("matmul"))},
+		{"blowfish", mem2reg(progen.Benchmark("blowfish"))},
+		{"callheavy", mem2reg(progen.CallHeavy())},
+	}
+	for _, tc := range mods {
+		b.Run(tc.name+"/static", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, ok := hls.StaticProfile(tc.mod, cfg, lim); !ok {
+					b.Fatal("static path declined")
+				}
 			}
-		}
-	})
+		})
+		b.Run(tc.name+"/interp", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hls.Profile(tc.mod, cfg, lim); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -61,7 +61,14 @@ func runChecked(orig *ir.Module, ps []Pass) (failIdx int, before, after string, 
 	for i, p := range ps {
 		b := m.String()
 		p.Run(m)
-		if ds := analysis.VerifyAll(m); ds.HasErrors() {
+		ds := analysis.VerifyAll(m)
+		// The interprocedural attr check catches passes that stamp stronger
+		// function attributes than the effect summaries support — a class of
+		// miscompilation the per-function verifier cannot see.
+		for _, d := range analysis.VerifyAttrs(m).Errors() {
+			ds = append(ds, d)
+		}
+		if ds.HasErrors() {
 			return i, b, m.String(), ds
 		}
 	}

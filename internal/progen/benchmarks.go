@@ -444,6 +444,45 @@ func QSort() *ir.Module {
 	return m
 }
 
+// CallHeavy is a three-level call-chain stress benchmark for the
+// interprocedural static profiler: main calls mix per iteration, mix calls
+// lookup twice, lookup calls hash — every body branch-free, every trip
+// count static, so the whole program is decidable without the interpreter.
+// It is deliberately NOT in BenchmarkNames: the paper's nine benchmarks
+// stay the evaluation set, and this one exists for profiler tests and
+// examples/callheavy.ir (kept in sync by a progen test).
+func CallHeavy() *ir.Module {
+	m := ir.NewModule("callheavy")
+	tab := m.NewGlobal("tab", ir.ArrayOf(ir.I32, 64), rom(64, 5, 0xffff), true)
+
+	fe := NewFE(m)
+	hash := fe.Begin("hash", ir.I32, "x")
+	{
+		v := fe.And(fe.Mul(fe.V("x"), fe.C(0x9e37)), fe.C(0xffff))
+		fe.Ret(fe.Xor(v, fe.Shr(v, fe.C(7))))
+	}
+	lookup := fe.Begin("lookup", ir.I32, "x")
+	{
+		idx := fe.And(fe.Call(hash, fe.V("x")), fe.C(63))
+		fe.Ret(fe.GetG(tab, idx))
+	}
+	mix := fe.Begin("mix", ir.I32, "a", "b")
+	{
+		l := fe.Call(lookup, fe.V("a"))
+		r := fe.Call(lookup, fe.V("b"))
+		fe.Ret(fe.And(fe.Add(l, fe.Xor(r, fe.V("a"))), fe.C(0xffffff)))
+	}
+
+	fe.Begin("main", ir.I32)
+	fe.Var("acc", 1)
+	fe.For("i", 0, 96, 1, func(iv func() ir.Value) {
+		fe.Set("acc", fe.Call(mix, fe.V("acc"), iv()))
+	})
+	fe.Print(fe.V("acc"))
+	fe.Ret(fe.V("acc"))
+	return m
+}
+
 // SHA models the CHStone SHA-1 transform: message-schedule expansion with
 // rotations and an 80-round compression with a per-20-round function switch.
 func SHA() *ir.Module {

@@ -2,6 +2,8 @@ package progen
 
 import (
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -197,4 +199,31 @@ func lineOrEOF(lines []string, i int) string {
 		return lines[i]
 	}
 	return "<EOF>"
+}
+
+// TestCallHeavyExampleInSync pins examples/callheavy.ir to the CallHeavy
+// builder: the checked-in text must parse to a structurally identical
+// module (same fingerprint). Regenerate the file from the builder's
+// String() output when the builder changes.
+func TestCallHeavyExampleInSync(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "callheavy.ir"))
+	if err != nil {
+		t.Fatalf("read examples/callheavy.ir: %v", err)
+	}
+	parsed, err := ir.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse examples/callheavy.ir: %v", err)
+	}
+	if err := parsed.Verify(); err != nil {
+		t.Fatalf("verify examples/callheavy.ir: %v", err)
+	}
+	built := CallHeavy()
+	if parsed.Fingerprint() != built.Fingerprint() {
+		t.Fatalf("examples/callheavy.ir is out of sync with progen.CallHeavy(); regenerate it from the builder's String() output")
+	}
+	for _, name := range BenchmarkNames {
+		if name == "callheavy" {
+			t.Fatal("callheavy must not join BenchmarkNames: the paper's nine benchmarks are the evaluation set")
+		}
+	}
 }

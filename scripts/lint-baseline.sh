@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates the lint baseline: `autophase lint -json` over the nine
+# bundled benchmarks, a deterministic batch of generated programs, and every
+# checked-in example IR file. CI regenerates this and diffs it against
+# testdata/lint-baseline.txt, so new lint findings (or lost ones) show up as
+# a reviewable baseline change instead of a silent drift.
+#
+# Usage: scripts/lint-baseline.sh [output-file]
+set -u
+cd "$(dirname "$0")/.."
+out="${1:-testdata/lint-baseline.txt}"
+bin="$(mktemp -d)/autophase"
+go build -o "$bin" ./cmd/autophase || exit 1
+{
+  for prog in adpcm aes blowfish dhrystone gsm matmul mpeg2 qsort sha \
+    rand:101 rand:202 rand:303 rand:404; do
+    "$bin" lint -program "$prog" -json | sed "s|^|$prog |"
+  done
+  for f in examples/*.ir; do
+    "$bin" lint -program "file:$f" -json | sed "s|^|$f |"
+  done
+} >"$out"
+echo "wrote $out" >&2
