@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -53,8 +54,7 @@ import (
 
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "lint" {
-		runLint(os.Args[2:])
-		return
+		os.Exit(lintMain(os.Args[2:], os.Stdout, os.Stderr))
 	}
 	if len(os.Args) > 1 && os.Args[1] == "collect" {
 		runCollect(os.Args[2:])
@@ -283,33 +283,40 @@ type lintDiag struct {
 	Msg      string `json:"msg"`
 }
 
-// runLint is the `autophase lint` subcommand: load a program, run the
+// lintMain is the `autophase lint` subcommand: load a program, run the
 // collect-all verifier, the dataflow analyses and the interprocedural
-// checks, and print every diagnostic. Exit status 1 when any Error-severity
-// diagnostic fired; 0 otherwise (warnings alone never fail the lint).
-func runLint(args []string) {
-	fs := flag.NewFlagSet("lint", flag.ExitOnError)
+// checks, and print every diagnostic. It returns the process exit status:
+// 1 when any Error-severity diagnostic fired, 0 otherwise (warnings alone
+// never fail the lint), and 2 for usage or load failures — so callers like
+// scripts/lint-baseline.sh can tell "findings" from "lint never ran".
+func lintMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	prog := fs.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
 	passList := fs.String("passes", "", "apply this comma-separated pass list before analyzing")
 	stats := fs.Bool("stats", false, "also print per-function analysis statistics")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic line (exit 1 on errors, as in text mode)")
-	fs.Parse(args)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	m, err := loadModule(*prog, false)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "autophase:", err)
+		return 2
 	}
 	if *passList != "" {
 		seq, err := parsePasses(*passList)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "autophase:", err)
+			return 2
 		}
 		passes.Apply(m, seq)
 	}
 	diags := analysis.VerifyAll(m)
 	diags = append(diags, analysis.VerifyAttrs(m)...)
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		for _, d := range diags {
 			enc.Encode(lintDiag{
 				Severity: d.Sev.String(), Check: d.Check,
@@ -317,12 +324,12 @@ func runLint(args []string) {
 			})
 		}
 		if diags.HasErrors() {
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 	if len(diags) > 0 {
-		fmt.Print(diags.String())
+		fmt.Fprint(stdout, diags.String())
 	}
 	if *stats {
 		for _, f := range m.Funcs {
@@ -334,25 +341,26 @@ func runLint(args []string) {
 					maxLive = len(s)
 				}
 			}
-			fmt.Printf("@%s: %d blocks, %d instrs, max live-out %d, %d dead defs, %d redundant exprs\n",
+			fmt.Fprintf(stdout, "@%s: %d blocks, %d instrs, max live-out %d, %d dead defs, %d redundant exprs\n",
 				f.Name, len(f.Blocks), f.NumInstrs(), maxLive, len(lv.DeadDefs()), len(ae.Redundant()))
 			sc := analysis.ComputeSCEV(f)
 			for _, l := range sc.Loops() {
 				tr := sc.TripsOf(l)
 				if tr.Kind == analysis.TripFinite {
-					fmt.Printf("  loop %s (depth %d): %d trips, iv {%d,+,%d} i%d\n",
+					fmt.Fprintf(stdout, "  loop %s (depth %d): %d trips, iv {%d,+,%d} i%d\n",
 						l.Header.Name, l.Depth, tr.BodyTrips, tr.IV.Start, tr.IV.Step, tr.IV.Bits)
 				} else {
-					fmt.Printf("  loop %s (depth %d): %s trip count\n", l.Header.Name, l.Depth, tr.Kind)
+					fmt.Fprintf(stdout, "  loop %s (depth %d): %s trip count\n", l.Header.Name, l.Depth, tr.Kind)
 				}
 			}
 		}
 	}
 	if diags.HasErrors() {
-		fmt.Printf("lint: %d errors, %d warnings\n", len(diags.Errors()), len(diags.Warnings()))
-		os.Exit(1)
+		fmt.Fprintf(stdout, "lint: %d errors, %d warnings\n", len(diags.Errors()), len(diags.Warnings()))
+		return 1
 	}
-	fmt.Printf("lint: ok (%d warnings)\n", len(diags.Warnings()))
+	fmt.Fprintf(stdout, "lint: ok (%d warnings)\n", len(diags.Warnings()))
+	return 0
 }
 
 // runCollect is the `autophase collect` subcommand: run high-exploration

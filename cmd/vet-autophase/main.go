@@ -1,0 +1,19 @@
+// Command vet-autophase is the repo's contract vettool: a go/analysis-style
+// suite (internal/contractvet) that statically enforces the engine's
+// determinism, changed-report, panic-containment and lock-discipline
+// contracts. It speaks the `go vet -vettool` protocol:
+//
+//	go build -o vet-autophase ./cmd/vet-autophase
+//	go vet -vettool=$PWD/vet-autophase ./...
+//
+// Individual analyzers can be toggled, e.g.
+//
+//	go vet -vettool=$PWD/vet-autophase -nondeterminism=false ./...
+//
+// See the contractvet package documentation for the contract each analyzer
+// encodes and the escape-hatch annotations.
+package main
+
+import "autophase/internal/contractvet"
+
+func main() { contractvet.Main() }

@@ -1,0 +1,50 @@
+package contractvet_test
+
+import (
+	"testing"
+
+	"autophase/internal/contractvet"
+	"autophase/internal/contractvet/vettest"
+)
+
+func TestNondeterminism(t *testing.T) {
+	vettest.Run(t, "a/internal/interp", contractvet.NondeterminismAnalyzer)
+}
+
+// TestNondeterminismGating proves the analyzer is silent outside the
+// determinism-critical package set: a/pkg uses time.Now, rand.Intn, and a
+// printing map range, and carries no want comments.
+func TestNondeterminismGating(t *testing.T) {
+	vettest.Run(t, "a/pkg", contractvet.NondeterminismAnalyzer)
+}
+
+func TestChangedReport(t *testing.T) {
+	vettest.Run(t, "b/internal/passes", contractvet.ChangedReportAnalyzer)
+}
+
+// TestChangedReportGating: the fake ir package itself is not under
+// internal/passes, so its bool-returning methods draw no findings.
+func TestChangedReportGating(t *testing.T) {
+	vettest.Run(t, "b/internal/ir", contractvet.ChangedReportAnalyzer)
+}
+
+func TestRecoverGuard(t *testing.T) {
+	vettest.Run(t, "c/internal/core", contractvet.RecoverGuardAnalyzer)
+}
+
+func TestLockDiscipline(t *testing.T) {
+	vettest.Run(t, "d/internal/core", contractvet.LockDisciplineAnalyzer)
+}
+
+// TestAllAnalyzersOnFixtures runs the full suite over every fixture at
+// once, the same composition `go vet -vettool` uses: analyzers must not
+// trip over each other's fixtures beyond the declared expectations.
+func TestAllAnalyzersOnFixtures(t *testing.T) {
+	all := contractvet.Analyzers()
+	for _, pkg := range []string{
+		"a/internal/interp", "a/pkg", "b/internal/ir",
+		"b/internal/passes", "c/internal/core", "d/internal/core",
+	} {
+		t.Run(pkg, func(t *testing.T) { vettest.Run(t, pkg, all...) })
+	}
+}

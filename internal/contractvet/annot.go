@@ -1,0 +1,147 @@
+package contractvet
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// annotations is the per-package comment-directive index shared by every
+// analyzer in a Run. Directives attach to lines: a directive written on its
+// own line covers the next line too (the annotated statement), one written
+// as a trailing comment covers its own line.
+type annotations struct {
+	// allowLines maps "file:line" to the set of analyzer names allowed
+	// there (the special name "*" allows all).
+	allowLines map[string]map[string]bool
+	// orderedLines marks "file:line" positions carrying
+	// //contractvet:ordered.
+	orderedLines map[string]bool
+}
+
+var (
+	allowRE   = regexp.MustCompile(`^//contractvet:allow\s+([\w*,]+)\s+--\s+\S`)
+	orderedRE = regexp.MustCompile(`^//contractvet:ordered\b`)
+	bareAllow = regexp.MustCompile(`^//contractvet:allow\b`)
+)
+
+func scanAnnotations(fset *token.FileSet, files []*ast.File) *annotations {
+	an := &annotations{
+		allowLines:   make(map[string]map[string]bool),
+		orderedLines: make(map[string]bool),
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				pos := fset.Position(c.Pos())
+				switch {
+				case orderedRE.MatchString(text):
+					an.orderedLines[lineKey(pos.Filename, pos.Line)] = true
+					an.orderedLines[lineKey(pos.Filename, pos.Line+1)] = true
+				case bareAllow.MatchString(text):
+					m := allowRE.FindStringSubmatch(text)
+					if m == nil {
+						// An allow without a justification ("-- why") is
+						// itself ill-formed; ignoring it makes the
+						// underlying finding resurface, which is the
+						// loudest available failure mode.
+						continue
+					}
+					for _, name := range strings.Split(m[1], ",") {
+						an.addAllow(pos.Filename, pos.Line, name)
+						an.addAllow(pos.Filename, pos.Line+1, name)
+					}
+				}
+			}
+		}
+	}
+	return an
+}
+
+func (an *annotations) addAllow(file string, line int, analyzer string) {
+	key := lineKey(file, line)
+	set := an.allowLines[key]
+	if set == nil {
+		set = make(map[string]bool)
+		an.allowLines[key] = set
+	}
+	set[analyzer] = true
+}
+
+// allowed reports whether an allow directive for the analyzer covers pos.
+func (an *annotations) allowed(fset *token.FileSet, pos token.Pos, analyzer string) bool {
+	p := fset.Position(pos)
+	set := an.allowLines[lineKey(p.Filename, p.Line)]
+	return set[analyzer] || set["*"]
+}
+
+// ordered reports whether an //contractvet:ordered directive covers pos.
+func (an *annotations) ordered(fset *token.FileSet, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return an.orderedLines[lineKey(p.Filename, p.Line)]
+}
+
+func lineKey(file string, line int) string {
+	// Positions inside one package always share a FileSet, so the raw
+	// filename string is a stable key.
+	return file + ":" + itoa(line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// guardedByRE extracts the mutex name from a struct-field comment of the
+// form "guarded by <name>" (anywhere in the field's doc or line comment).
+var guardedByRE = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+// guardName returns the declared guard mutex name for a struct field, from
+// its doc comment or trailing line comment, or "".
+func guardName(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedFields returns the fields the enclosing function declares as
+// caller-locked via "//contractvet:locked <field>[,<field>] -- why" in its
+// doc comment; "*" means every guarded field.
+var lockedRE = regexp.MustCompile(`^//contractvet:locked\s+([\w*,]+)\s+--\s+\S`)
+
+func lockedFields(decl *ast.FuncDecl) map[string]bool {
+	if decl == nil || decl.Doc == nil {
+		return nil
+	}
+	// Directive comments are stripped by CommentGroup.Text, so scan the
+	// raw list.
+	for _, c := range decl.Doc.List {
+		m := lockedRE.FindStringSubmatch(strings.TrimSpace(c.Text))
+		if m == nil {
+			continue
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(m[1], ",") {
+			set[name] = true
+		}
+		return set
+	}
+	return nil
+}

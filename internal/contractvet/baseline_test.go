@@ -1,0 +1,106 @@
+package contractvet
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestBaselineInSync keeps testdata/baseline.txt — the committed inventory
+// of every contractvet escape hatch in the engine — in lockstep with the
+// source tree. A new //contractvet: directive anywhere outside this
+// package must be added to the baseline in the same change, which makes
+// each suppression a visible, reviewed line in the diff.
+func TestBaselineInSync(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := scanDirectives(t, root)
+
+	data, err := os.ReadFile(filepath.Join("testdata", "baseline.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, " \t\r")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want = append(want, line)
+	}
+
+	if diff := diffLines(want, got); diff != "" {
+		t.Errorf("contractvet baseline out of sync with source (update testdata/baseline.txt):\n%s", diff)
+	}
+}
+
+// scanDirectives walks the repo for //contractvet: directives in non-test,
+// non-fixture Go source, returning sorted "<file>: <directive>" lines.
+func scanDirectives(t *testing.T, root string) []string {
+	t.Helper()
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name == "testdata" || name == "contractvet" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "//contractvet:") {
+				out = append(out, fmt.Sprintf("%s: %s", filepath.ToSlash(rel), trimmed))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffLines(want, got []string) string {
+	wantSet := make(map[string]bool, len(want))
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := make(map[string]bool, len(got))
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range want {
+		if !gotSet[l] {
+			fmt.Fprintf(&b, "-%s\n", l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			fmt.Fprintf(&b, "+%s\n", l)
+		}
+	}
+	return b.String()
+}

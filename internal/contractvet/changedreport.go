@@ -1,0 +1,215 @@
+package contractvet
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ChangedReportAnalyzer is the static complement to FuzzCloneCOW's
+// differential check of the changed-report contract: a Run-style function
+// in internal/passes (single bool result) that calls a known-mutating ir
+// method, or writes a field of an ir type, yet can never return anything
+// but false, silently mutates a module the copy-on-write cache will keep
+// reusing as "unchanged". The dynamic fuzzer catches such a pass only when
+// a fuzz input happens to drive the mutating path; this flags it at vet
+// time.
+var ChangedReportAnalyzer = &Analyzer{
+	Name: "changedreport",
+	Doc:  "flag pass implementations that mutate IR but can never report change",
+	Run:  runChangedReport,
+}
+
+// irMutators are the ir methods that structurally mutate a module. Pure
+// queries (Parent, Succs, Uses, ...) and COW bookkeeping (Seal,
+// MaterializeAll — semantics-preserving by contract) are excluded.
+var irMutators = map[string]bool{
+	// Block surgery.
+	"Append": true, "Prepend": true, "InsertBefore": true,
+	"InsertBeforeTerm": true, "Remove": true,
+	// Func/Module surgery.
+	"NewBlock": true, "AddBlockAfter": true, "RemoveBlock": true,
+	"PrependBlock": true, "ReplaceAllUses": true,
+	"NewFunc": true, "NewGlobal": true, "RemoveFunc": true, "RemoveGlobal": true,
+	// Instr rewrites.
+	"ReplaceTarget": true, "SetPhiIncoming": true, "RemovePhiIncoming": true,
+	"ReplaceUses": true,
+}
+
+func runChangedReport(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.Path(), "internal/passes") {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !singleBoolResult(pass, fd) {
+				continue
+			}
+			mutNode, mutDesc := firstIRMutation(pass, fd.Body)
+			if mutDesc == "" {
+				continue
+			}
+			if mayReportChange(pass, fd) {
+				continue
+			}
+			pass.Reportf(fd.Pos(),
+				"%s mutates IR (%s at %s) but every return is false: the changed report is a contract — the engine reuses the input module and its fingerprint for runs reported unchanged",
+				fd.Name.Name, mutDesc, pass.Fset.Position(mutNode.Pos()))
+		}
+	}
+}
+
+func singleBoolResult(pass *Pass, fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return false
+	}
+	tv, ok := pass.Info.Types[res.List[0].Type]
+	if !ok {
+		return false
+	}
+	basic, _ := tv.Type.Underlying().(*types.Basic)
+	return basic != nil && basic.Kind() == types.Bool
+}
+
+// firstIRMutation finds a call to a known-mutating ir method, or an
+// assignment through a field of an ir-declared type, inside body. Nested
+// function literals are included: a mutation is a mutation wherever the
+// closure runs.
+func firstIRMutation(pass *Pass, body *ast.BlockStmt) (pos ast.Node, desc string) {
+	var found string
+	var at ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok || !irMutators[sel.Sel.Name] {
+				return true
+			}
+			selection := pass.Info.Selections[sel]
+			if selection == nil {
+				return true
+			}
+			if typeDeclaredIn(selection.Recv(), "internal/ir") {
+				found = "call to ir." + recvTypeName(selection.Recv()) + "." + sel.Sel.Name
+				at = n
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if d := irFieldWrite(pass, lhs); d != "" {
+					found, at = d, n
+					break
+				}
+			}
+		}
+		return true
+	})
+	if at == nil {
+		return body, ""
+	}
+	return at, found
+}
+
+// irFieldWrite reports an assignment target of the form x.Field or
+// x.Field[i] where x is an ir-declared type (e.g. in.Op = ...,
+// in.Args[0] = v, f.Blocks = ...).
+func irFieldWrite(pass *Pass, lhs ast.Expr) string {
+	e := ast.Unparen(lhs)
+	if idx, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(idx.X)
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	selection := pass.Info.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return ""
+	}
+	if !typeDeclaredIn(selection.Recv(), "internal/ir") {
+		return ""
+	}
+	return "write to ir." + recvTypeName(selection.Recv()) + "." + sel.Sel.Name
+}
+
+func recvTypeName(t types.Type) string {
+	if named := namedFromType(t); named != nil {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// mayReportChange reports whether the function has any path that returns a
+// value not provably the constant false: a non-false return expression, or
+// (with a named result) any assignment of a possibly-true value to it.
+func mayReportChange(pass *Pass, fd *ast.FuncDecl) bool {
+	resultVar := namedResultVar(pass, fd)
+	may := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if may {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal's returns are its own; but assignments to the
+			// named result from inside still count, so only skip returns.
+			// Simplest sound treatment: descend (its returns can only
+			// make us report less).
+			return true
+		case *ast.ReturnStmt:
+			if len(n.Results) == 0 {
+				// Naked return: the named result's assignments decide.
+				return true
+			}
+			if !constantFalse(pass, n.Results[0]) {
+				may = true
+			}
+		case *ast.AssignStmt:
+			if resultVar == nil {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != resultVar {
+					continue
+				}
+				if n.Tok.String() != "=" {
+					may = true // |=, etc.
+					continue
+				}
+				if i < len(n.Rhs) && !constantFalse(pass, n.Rhs[i]) {
+					may = true
+				}
+				if len(n.Rhs) != len(n.Lhs) {
+					may = true // multi-value assignment
+				}
+			}
+		case *ast.UnaryExpr:
+			// &changed escaping means anything could write it.
+			if resultVar != nil && n.Op.String() == "&" {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok && pass.Info.Uses[id] == resultVar {
+					may = true
+				}
+			}
+		}
+		return true
+	})
+	return may
+}
+
+func namedResultVar(pass *Pass, fd *ast.FuncDecl) types.Object {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) != 1 {
+		return nil
+	}
+	return pass.Info.Defs[res.List[0].Names[0]]
+}
+
+func constantFalse(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil && tv.Value.Kind() == constant.Bool && !constant.BoolVal(tv.Value)
+}

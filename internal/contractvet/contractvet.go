@@ -1,0 +1,202 @@
+// Package contractvet is a suite of static analyzers that enforce, at vet
+// time, the engine contracts the repo otherwise enforces only dynamically
+// (differential fuzzing, chaos suites, determinism sweeps):
+//
+//   - nondeterminism: determinism-critical packages must not read wall
+//     clocks, draw from math/rand's global state, or feed unordered map
+//     iteration into output or order-sensitive accumulation.
+//   - changedreport: a pass that mutates IR must be able to report change
+//     (the copy-on-write cache reuses the input module outright for runs
+//     reported unchanged — see passes.Pass).
+//   - recoverguard: goroutines spawned in the evaluation engine must route
+//     through a panic-containment boundary (a deferred recover), or a
+//     pass panic becomes a dead process instead of an EvalFault.
+//   - lockdiscipline: fields annotated "guarded by <mutex>" are only
+//     touched with their mutex locked, and no field mixes sync/atomic and
+//     plain access.
+//
+// The analyzers are deliberately built on the standard library alone (no
+// golang.org/x/tools dependency): a small Analyzer/Pass core here, an
+// analysistest-style fixture harness in vettest, and a unitchecker-style
+// driver (unitchecker.go) speaking the `go vet -vettool` protocol, compiled
+// into cmd/vet-autophase.
+//
+// Escape hatches are comment directives, each requiring a justification:
+//
+//	//contractvet:ordered                     — this map iteration is proven
+//	                                            order-insensitive or sorted
+//	//contractvet:allow <analyzer> -- <why>   — suppress findings on the
+//	                                            next (or same) line
+//	//contractvet:locked <field> -- <why>     — callers hold the lock for
+//	                                            <field> when calling this
+//	// guarded by <mutex>                     — struct-field annotation
+//	                                            consumed by lockdiscipline
+//
+// Every allow/locked directive is part of the committed findings baseline
+// (testdata/contractvet-baseline.txt, kept honest by TestBaseline), so the
+// CI gate `go vet -vettool=vet-autophase ./...` lands at zero diff.
+package contractvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one static contract check. It is a deliberately small subset
+// of golang.org/x/tools/go/analysis.Analyzer: name, doc, and a Run over a
+// fully type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	annots *annotations
+	diags  *[]Diagnostic
+}
+
+// Diagnostic is one finding, positioned for `file:line:col: message`
+// rendering.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Reportf records a finding unless an `//contractvet:allow <analyzer>`
+// directive covers its line. Suppression lives here so the escape hatch
+// behaves identically across all analyzers and both drivers.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.annots.allowed(p.Fset, pos, p.Analyzer.Name) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NondeterminismAnalyzer,
+		ChangedReportAnalyzer,
+		RecoverGuardAnalyzer,
+		LockDisciplineAnalyzer,
+	}
+}
+
+// Run executes the analyzers over one type-checked package and returns the
+// findings sorted by position. Files from _test.go sources are excluded:
+// the contracts govern the engine, not its tests (which intentionally
+// exercise contract violations).
+func Run(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) []Diagnostic {
+	kept := files[:0:0]
+	for _, f := range files {
+		name := fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	var diags []Diagnostic
+	an := scanAnnotations(fset, kept)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    kept,
+			Pkg:      pkg,
+			Info:     info,
+			annots:   an,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// NewInfo returns a types.Info populated with every map the analyzers
+// consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// pathHasSuffix reports whether the import path ends with the given
+// slash-separated suffix on a path-element boundary, so both the real
+// "autophase/internal/interp" and a fixture's "b/internal/interp" match
+// "internal/interp" while "x/notinternal/interp" does not.
+func pathHasSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "/"+suffix)
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through an identifier or selector), or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// funcPkgPath returns the import path of the package a function belongs
+// to, or "" for builtins.
+func funcPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// namedFromType unwraps pointers and returns the named type underneath, or
+// nil.
+func namedFromType(t types.Type) *types.Named {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// typeDeclaredIn reports whether t (possibly behind a pointer) is a named
+// type declared in a package whose import path ends with pkgSuffix.
+func typeDeclaredIn(t types.Type, pkgSuffix string) bool {
+	named := namedFromType(t)
+	if named == nil || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return pathHasSuffix(named.Obj().Pkg().Path(), pkgSuffix)
+}

@@ -1,0 +1,318 @@
+package contractvet
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// LockDisciplineAnalyzer enforces the "guarded by <mutex>" annotations on
+// struct fields: every access to an annotated field must happen in a
+// function that locks the named mutex (on the same receiver path) before
+// the access, in a function declaring via //contractvet:locked that its
+// callers hold the lock, or on a freshly constructed, not-yet-published
+// value. It also flags fields accessed both through sync/atomic and
+// through plain reads/writes — the mixed-access pattern the race detector
+// only catches when both sides actually collide at runtime.
+var LockDisciplineAnalyzer = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "check guarded-by field annotations and mixed atomic/plain access",
+	Run:  runLockDiscipline,
+}
+
+// guardedField records one "guarded by <mutex>" annotation.
+type guardedField struct {
+	field types.Object // the annotated field
+	guard string       // the mutex field's name
+}
+
+func runLockDiscipline(pass *Pass) {
+	guards := collectGuards(pass)
+	atomicFields := collectAtomicFields(pass)
+	if len(guards) == 0 && len(atomicFields) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncLocks(pass, fd, guards)
+			checkAtomicMix(pass, fd, atomicFields)
+		}
+	}
+}
+
+// collectGuards scans struct declarations for "guarded by <mutex>" field
+// annotations, validating that the named guard is a sibling field.
+func collectGuards(pass *Pass) map[types.Object]guardedField {
+	guards := make(map[types.Object]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			names := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					names[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				g := guardName(f)
+				if g == "" {
+					continue
+				}
+				if !names[g] {
+					pass.Reportf(f.Pos(),
+						"field annotated \"guarded by %s\" but the struct has no field %s", g, g)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = guardedField{field: obj, guard: g}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// checkFuncLocks verifies every guarded-field access in fd.
+func checkFuncLocks(pass *Pass, fd *ast.FuncDecl, guards map[types.Object]guardedField) {
+	if len(guards) == 0 {
+		return
+	}
+	locked := lockedFields(fd)
+	fresh := freshLocals(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		gf, ok := guards[fieldObjOf(selection)]
+		if !ok {
+			return true
+		}
+		if locked[gf.field.Name()] || locked["*"] {
+			return true
+		}
+		base := exprString(pass.Fset, sel.X)
+		if obj := baseObject(pass, sel.X); obj != nil && fresh[obj] {
+			return true // construction before publication
+		}
+		if lockHeldBefore(pass, fd, base, gf.guard, sel.Pos()) {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s is guarded by %s but %s does not lock %s.%s first (lock it, mark the function //contractvet:locked %s -- why, or annotate the access)",
+			base, gf.field.Name(), gf.guard, fd.Name.Name, base, gf.guard, gf.field.Name())
+		return true
+	})
+}
+
+func fieldObjOf(selection *types.Selection) types.Object {
+	return selection.Obj()
+}
+
+// lockHeldBefore reports whether fd's body contains `<base>.<guard>.Lock()`
+// or `.RLock()` lexically before pos. Lexical ordering inside one function
+// is a deliberate approximation: it accepts the universal
+// lock-then-touch layout and stays silent on lock/unlock windows, which
+// the runtime race detector covers.
+func lockHeldBefore(pass *Pass, fd *ast.FuncDecl, base, guard string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if held {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+		if !ok || mutexSel.Sel.Name != guard {
+			return true
+		}
+		if exprString(pass.Fset, mutexSel.X) == base {
+			held = true
+		}
+		return true
+	})
+	return held
+}
+
+// freshLocals returns the local variables of fd initialized from a
+// composite literal, &composite, or new(T): values this function
+// constructed and has not (yet) shared, whose fields it may freely
+// initialize without the lock.
+func freshLocals(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if !constructedValue(pass, as.Rhs[i]) {
+				continue
+			}
+			if obj := pass.Info.Defs[id]; obj != nil {
+				fresh[obj] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func constructedValue(pass *Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" && isBuiltin(pass, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// baseObject resolves the root identifier of a selector base expression
+// (x, x.y, x[i].y → x), or nil.
+func baseObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// collectAtomicFields finds struct fields that are the target of a
+// sync/atomic call (`atomic.AddInt64(&x.f, 1)`): those fields must never
+// also be accessed plainly.
+func collectAtomicFields(pass *Pass) map[types.Object]string {
+	fields := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				selection := pass.Info.Selections[sel]
+				if selection == nil || selection.Kind() != types.FieldVal {
+					continue
+				}
+				fields[selection.Obj()] = "atomic." + fn.Name()
+			}
+			return true
+		})
+	}
+	return fields
+}
+
+// checkAtomicMix flags plain selector accesses to fields that are
+// elsewhere accessed atomically.
+func checkAtomicMix(pass *Pass, fd *ast.FuncDecl, atomicFields map[types.Object]string) {
+	if len(atomicFields) == 0 {
+		return
+	}
+	fresh := freshLocals(pass, fd)
+	// Selector expressions that appear as &x.f arguments of atomic calls
+	// are the sanctioned accesses; collect them to skip.
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || funcPkgPath(fn) != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr); ok {
+					sanctioned[sel] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		via, ok := atomicFields[selection.Obj()]
+		if !ok {
+			return true
+		}
+		if obj := baseObject(pass, sel.X); obj != nil && fresh[obj] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"plain access to %s.%s, which is accessed via %s elsewhere in this package: mixed atomic/non-atomic access races even under a happens-before the race detector cannot see",
+			exprString(pass.Fset, sel.X), selection.Obj().Name(), via)
+		return true
+	})
+}
+
+// exprString renders an expression compactly for matching and messages.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return "?"
+	}
+	return strings.Join(strings.Fields(buf.String()), "")
+}

@@ -1,0 +1,246 @@
+package contractvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detPkgSuffixes names the determinism-critical packages: everything on the
+// reward path. The worker-count determinism sweep proves these dynamically;
+// this analyzer refuses the three classic ways a change breaks them.
+var detPkgSuffixes = []string{
+	"internal/interp",
+	"internal/passes",
+	"internal/core",
+	"internal/rl",
+}
+
+// NondeterminismAnalyzer flags wall-clock reads (time.Now/Since), draws
+// from math/rand's shared global source, and unordered map iteration that
+// feeds output or order-sensitive accumulation, inside determinism-critical
+// packages. The `//contractvet:ordered` directive marks a map range proven
+// order-insensitive; collecting keys into a slice that is subsequently
+// sorted is recognized and never flagged.
+var NondeterminismAnalyzer = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "forbid wall clocks, global math/rand state, and order-sensitive map iteration in determinism-critical packages",
+	Run:  runNondeterminism,
+}
+
+func runNondeterminism(pass *Pass) {
+	if !detPackage(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, n)
+			}
+			return true
+		})
+	}
+}
+
+func detPackage(path string) bool {
+	for _, s := range detPkgSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// globalRandOK lists the math/rand package-level functions that do not
+// touch the shared global source.
+var globalRandOK = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func checkNondetCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isMethod := sig != nil && sig.Recv() != nil
+	switch funcPkgPath(fn) {
+	case "time":
+		if !isMethod && (fn.Name() == "Now" || fn.Name() == "Since") {
+			pass.Reportf(call.Pos(),
+				"call to time.%s in determinism-critical package %s: wall-clock reads make rewards irreproducible (route timing through an injected clock or annotate //contractvet:allow nondeterminism -- why)",
+				fn.Name(), pass.Pkg.Path())
+		}
+	case "math/rand", "math/rand/v2":
+		if !isMethod && !globalRandOK[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s uses the process-global random source in determinism-critical package %s: draw from a seeded *rand.Rand instead",
+				funcPkgPath(fn), fn.Name(), pass.Pkg.Path())
+		}
+	}
+}
+
+// checkMapRange flags `range m` over a map when the loop body feeds an
+// order-sensitive sink: io output, a channel send, appending to or
+// concatenating onto state declared outside the loop, or floating-point
+// accumulation (integer accumulation commutes and is fine).
+func checkMapRange(pass *Pass, file *ast.File, rng *ast.RangeStmt) {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if pass.annots.ordered(pass.Fset, rng.Pos()) {
+		return
+	}
+	sink, sinkVar := findOrderSink(pass, rng)
+	if sink == "" {
+		return
+	}
+	// Collect-then-sort is the idiomatic deterministic pattern: an append
+	// target that is later passed to sort.*/slices.Sort* is not a finding.
+	if sinkVar != nil && sortedAfter(pass, file, rng, sinkVar) {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"unordered map iteration feeds %s: iteration order varies run to run (sort the keys first, or annotate //contractvet:ordered if order provably cannot matter)",
+		sink)
+}
+
+// findOrderSink scans the range body for the first order-sensitive sink.
+// It returns a description and, for append/concat sinks, the accumulating
+// variable.
+func findOrderSink(pass *Pass, rng *ast.RangeStmt) (string, types.Object) {
+	var sink string
+	var sinkVar types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Info, n); fn != nil && funcPkgPath(fn) == "fmt" {
+				switch fn.Name() {
+				case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+					sink = "fmt." + fn.Name() + " output"
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			sink = "a channel send"
+			return false
+		case *ast.AssignStmt:
+			if s, v := assignSink(pass, rng, n); s != "" {
+				sink, sinkVar = s, v
+				return false
+			}
+		}
+		return true
+	})
+	return sink, sinkVar
+}
+
+// assignSink classifies an assignment inside the range body as a sink:
+// append to an outer slice, string concatenation onto an outer string, or
+// float accumulation into an outer variable.
+func assignSink(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) (string, types.Object) {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", nil
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return "", nil
+	}
+	obj := pass.Info.Uses[lhs]
+	if obj == nil || !declaredOutside(obj, rng) {
+		return "", nil
+	}
+	basic, _ := obj.Type().Underlying().(*types.Basic)
+	switch as.Tok.String() {
+	case "=":
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && isBuiltin(pass, id) {
+				if len(call.Args) > 0 {
+					if first, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[first] == obj {
+						return "append to " + obj.Name() + " declared outside the loop", obj
+					}
+				}
+			}
+		}
+		if basic != nil && basic.Info()&types.IsString != 0 {
+			if bin, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && bin.Op.String() == "+" {
+				if id, ok := ast.Unparen(bin.X).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					return "string concatenation onto " + obj.Name(), obj
+				}
+			}
+		}
+	case "+=":
+		if basic != nil && basic.Info()&types.IsString != 0 {
+			return "string concatenation onto " + obj.Name(), obj
+		}
+		if basic != nil && basic.Info()&types.IsFloat != 0 {
+			return "floating-point accumulation into " + obj.Name() + " (float addition does not commute)", obj
+		}
+	}
+	return "", nil
+}
+
+// isBuiltin reports whether the identifier resolves to a Go builtin (or is
+// unresolved, which for "append" only happens when it is the builtin).
+func isBuiltin(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+func declaredOutside(obj types.Object, rng *ast.RangeStmt) bool {
+	return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortedAfter reports whether, lexically after the range statement, v is
+// passed to a sort.* or slices.Sort* call anywhere in the same file (the
+// collect-keys-then-sort idiom; a lexical check keeps this cheap and errs
+// on the quiet side only when the sort is genuinely present).
+func sortedAfter(pass *Pass, file *ast.File, rng *ast.RangeStmt, v types.Object) bool {
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return true
+		}
+		switch funcPkgPath(fn) {
+		case "sort", "slices":
+			for _, arg := range call.Args {
+				if mentionsObject(pass, arg, v) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsObject(pass *Pass, e ast.Expr, v types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,193 @@
+package contractvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// recoverPkgSuffixes names the packages whose goroutines must be panic-
+// contained: the evaluation engine (whose EvalFault taxonomy exists
+// precisely so a pass panic never kills the process) and the interpreter
+// it drives.
+var recoverPkgSuffixes = []string{
+	"internal/core",
+	"internal/interp",
+}
+
+// RecoverGuardAnalyzer flags `go` statements in the evaluation engine that
+// do not route through a panic-containment boundary. A goroutine is
+// considered contained when the function it runs — a literal, a local
+// variable bound to a literal, or a same-package named function — installs
+// a deferred recover (directly, or via a deferred call to a same-package
+// function that recovers).
+var RecoverGuardAnalyzer = &Analyzer{
+	Name: "recoverguard",
+	Doc:  "require goroutines in the evaluation engine to install a panic-containment boundary",
+	Run:  runRecoverGuard,
+}
+
+func runRecoverGuard(pass *Pass) {
+	match := false
+	for _, s := range recoverPkgSuffixes {
+		if pathHasSuffix(pass.Pkg.Path(), s) {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return
+	}
+	decls := packageFuncDecls(pass)
+	funcLits := localFuncLits(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineContained(pass, g.Call, decls, funcLits, 0) {
+				pass.Reportf(g.Pos(),
+					"goroutine without a panic-containment boundary in %s: an escaped panic here kills the process instead of becoming an EvalFault (install a deferred recover, or annotate //contractvet:allow recoverguard -- why)",
+					pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}
+
+// packageFuncDecls indexes the package's function and method declarations
+// by their types object, so `go pkgFunc()` resolves to a body.
+func packageFuncDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	decls := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// localFuncLits maps variables to the function literals assigned to them
+// anywhere in the package (`body := func() {...}` / `var body func();
+// body = func() {...}`), so `go body()` resolves to a body.
+func localFuncLits(pass *Pass) map[types.Object]*ast.FuncLit {
+	lits := make(map[types.Object]*ast.FuncLit)
+	bind := func(id *ast.Ident, rhs ast.Expr) {
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			lits[obj] = lit
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				if id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident); ok {
+					bind(id, as.Rhs[i])
+				}
+			}
+			return true
+		})
+	}
+	return lits
+}
+
+const recoverResolveDepth = 3
+
+// goroutineContained reports whether the call a go statement runs installs
+// a deferred recover.
+func goroutineContained(pass *Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl, lits map[types.Object]*ast.FuncLit, depth int) bool {
+	if depth > recoverResolveDepth {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyInstallsRecover(pass, fun.Body, decls, depth)
+	case *ast.Ident:
+		obj := pass.Info.Uses[fun]
+		if lit, ok := lits[obj]; ok {
+			return bodyInstallsRecover(pass, lit.Body, decls, depth)
+		}
+		if fd, ok := decls[obj]; ok {
+			return bodyInstallsRecover(pass, fd.Body, decls, depth)
+		}
+	case *ast.SelectorExpr:
+		obj := pass.Info.Uses[fun.Sel]
+		if fd, ok := decls[obj]; ok {
+			return bodyInstallsRecover(pass, fd.Body, decls, depth)
+		}
+	}
+	return false
+}
+
+// bodyInstallsRecover reports whether the function body contains, at its
+// own function level (not inside a nested literal spawned elsewhere), a
+// deferred function that recovers — either a deferred literal calling
+// recover, or a deferred call to a same-package function that recovers.
+func bodyInstallsRecover(pass *Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested goroutine's defers don't guard this one
+		case *ast.DeferStmt:
+			switch fun := ast.Unparen(n.Call.Fun).(type) {
+			case *ast.FuncLit:
+				if callsRecover(pass, fun.Body) {
+					found = true
+				}
+			case *ast.Ident:
+				if fd, ok := decls[pass.Info.Uses[fun]]; ok && callsRecover(pass, fd.Body) {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fd, ok := decls[pass.Info.Uses[fun.Sel]]; ok && callsRecover(pass, fd.Body) {
+					found = true
+				}
+			}
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// callsRecover reports whether the body calls the recover builtin at its
+// own function level.
+func callsRecover(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "recover" && isBuiltin(pass, id) {
+			found = true
+		}
+		return true
+	})
+	return found
+}

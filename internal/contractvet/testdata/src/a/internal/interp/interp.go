@@ -1,0 +1,109 @@
+// Package interp is a nondeterminism fixture: its import path ends in
+// internal/interp, so it is determinism-critical.
+package interp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() time.Time {
+	return time.Now() // want `call to time\.Now`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `call to time\.Since`
+}
+
+func sleepOK(d time.Duration) {
+	time.Sleep(d) // ok: sleeping is slow, not nondeterministic
+}
+
+func draw() int {
+	return rand.Intn(10) // want `process-global random source`
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global random source`
+}
+
+func drawSeeded(r *rand.Rand) int {
+	return r.Intn(10) // ok: method on an owned, seeded source
+}
+
+func newRNG() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // ok: constructors touch no global state
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m { // want `unordered map iteration feeds fmt\.Println output`
+		fmt.Println(k, v)
+	}
+}
+
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // ok: keys are sorted right below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `append to keys declared outside the loop`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func concat(m map[string]int) string {
+	var out string
+	for k := range m { // want `string concatenation onto out`
+		out += k
+	}
+	return out
+}
+
+func sumFloats(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m { // want `floating-point accumulation`
+		total += v
+	}
+	return total
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m { // ok: integer addition commutes
+		total += v
+	}
+	return total
+}
+
+func drain(m map[string]int, ch chan<- string) {
+	for k := range m { // want `a channel send`
+		ch <- k
+	}
+}
+
+func orderedDirective(m map[string]int, ch chan<- string) {
+	//contractvet:ordered
+	for k := range m { // ok: the directive asserts order cannot matter here
+		ch <- k
+	}
+}
+
+func allowedClock() time.Time {
+	//contractvet:allow nondeterminism -- fixture demonstrating the escape hatch
+	return time.Now()
+}
+
+func rangeSlice(xs []string) {
+	for _, x := range xs { // ok: slices iterate in order
+		fmt.Println(x)
+	}
+}

@@ -1,0 +1,19 @@
+// Package pkg is not determinism-critical: the nondeterminism analyzer
+// must stay silent on identical constructs here.
+package pkg
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func Now() time.Time { return time.Now() }
+
+func Draw() int { return rand.Intn(10) }
+
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

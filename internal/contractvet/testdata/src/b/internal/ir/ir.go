@@ -1,0 +1,27 @@
+// Package ir mirrors the real IR package's mutating surface for the
+// changedreport fixtures: its import path ends in internal/ir and it
+// declares methods with the known-mutator names.
+package ir
+
+type Value interface{ Ref() string }
+
+type Module struct{ Funcs []*Func }
+
+type Func struct {
+	Name   string
+	Blocks []*Block
+}
+
+type Block struct{ Instrs []*Instr }
+
+type Instr struct {
+	Op   int
+	Args []Value
+}
+
+func (b *Block) Remove(in *Instr)             {}
+func (b *Block) Append(in *Instr) *Instr      { return in }
+func (b *Block) Parent() *Func                { return nil }
+func (f *Func) ReplaceAllUses(old, new Value) {}
+func (m *Module) RemoveFunc(f *Func)          {}
+func (in *Instr) ReplaceUses(old, new Value)  {}

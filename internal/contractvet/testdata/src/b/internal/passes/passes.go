@@ -1,0 +1,81 @@
+// Package passes is the changedreport fixture: Run-style functions
+// (single bool result) that mutate IR must be able to report change.
+package passes
+
+import "b/internal/ir"
+
+// badDSE mutates through a known ir mutator but every return is false.
+func badDSE(f *ir.Func) bool { // want `badDSE mutates IR`
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			b.Remove(in)
+		}
+	}
+	return false
+}
+
+// goodDSE reports the mutation through a changed flag.
+func goodDSE(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			b.Remove(in)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// hasBlocks is a pure predicate: bool result, no mutation, no finding.
+func hasBlocks(f *ir.Func) bool {
+	return len(f.Blocks) > 0
+}
+
+type opRewrite struct{}
+
+// Run mutates via a field write without ever reporting change.
+func (opRewrite) Run(m *ir.Module) bool { // want `Run mutates IR`
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.Op = 1
+			}
+		}
+	}
+	return false
+}
+
+// namedNeverSet has a named bool result that nothing ever sets.
+func namedNeverSet(f *ir.Func) (changed bool) { // want `namedNeverSet mutates IR`
+	f.ReplaceAllUses(nil, nil)
+	return
+}
+
+// namedSet assigns its named result after mutating: no finding.
+func namedSet(f *ir.Func) (changed bool) {
+	f.ReplaceAllUses(nil, nil)
+	changed = true
+	return
+}
+
+// condReturn has a reachable true return: no finding.
+func condReturn(f *ir.Func) bool {
+	if len(f.Blocks) > 0 {
+		f.ReplaceAllUses(nil, nil)
+		return true
+	}
+	return false
+}
+
+//contractvet:allow changedreport -- fixture demonstrating the escape hatch
+func allowedMutator(f *ir.Func) bool {
+	f.ReplaceAllUses(nil, nil)
+	return false
+}
+
+// argSwap writes an ir field through an index expression and never
+// reports.
+func argSwap(in *ir.Instr) bool { // want `argSwap mutates IR`
+	in.Args[0] = nil
+	return false
+}

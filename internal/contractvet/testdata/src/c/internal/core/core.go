@@ -1,0 +1,69 @@
+// Package core is the recoverguard fixture: goroutines in the evaluation
+// engine must install a panic-containment boundary.
+package core
+
+func unguardedLit() {
+	go func() { // want `goroutine without a panic-containment boundary`
+		work()
+	}()
+}
+
+func guardedLit() {
+	go func() {
+		defer func() {
+			if v := recover(); v != nil {
+				_ = v
+			}
+		}()
+		work()
+	}()
+}
+
+func guardedVar() {
+	var body func()
+	body = func() {
+		defer func() { recover() }()
+		work()
+		go body() // ok: respawn resolves to the same contained literal
+	}
+	go body()
+}
+
+func guardedNamed() {
+	go contained()
+}
+
+// contained installs its boundary via a deferred same-package helper.
+func contained() {
+	defer rescue()
+	work()
+}
+
+func rescue() {
+	if v := recover(); v != nil {
+		_ = v
+	}
+}
+
+func unguardedNamed() {
+	go work() // want `goroutine without a panic-containment boundary`
+}
+
+// nestedSpawnerOnly defers recover in a *nested* goroutine, which does not
+// guard the outer one.
+func nestedSpawnerOnly() {
+	go func() { // want `goroutine without a panic-containment boundary`
+		go func() {
+			defer func() { recover() }()
+			work()
+		}()
+		work()
+	}()
+}
+
+func allowedGo() {
+	//contractvet:allow recoverguard -- fixture demonstrating the escape hatch
+	go work()
+}
+
+func work() {}

@@ -1,0 +1,65 @@
+// Package core is the lockdiscipline fixture: "guarded by" field
+// annotations and atomic/plain access mixing.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type shard struct {
+	mu    sync.RWMutex
+	cache map[string]int // guarded by mu
+}
+
+func (s *shard) get(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cache[key] // ok: RLock taken above
+}
+
+func (s *shard) put(key string, v int) {
+	s.mu.Lock()
+	s.cache[key] = v // ok: Lock taken above
+	s.mu.Unlock()
+}
+
+func (s *shard) putRacy(key string, v int) {
+	s.cache[key] = v // want `s\.cache is guarded by mu`
+}
+
+//contractvet:locked cache -- callers hold mu
+func (s *shard) putLocked(key string, v int) {
+	s.cache[key] = v // ok: the function declares its callers hold mu
+}
+
+func newShard() *shard {
+	s := &shard{}
+	s.cache = make(map[string]int) // ok: construction before publication
+	return s
+}
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) racyRead() int64 {
+	return c.n // want `plain access to c\.n`
+}
+
+func (c *counter) okRead() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) otherRead() int64 {
+	return c.other // ok: other is never accessed atomically
+}
+
+type badGuard struct {
+	data int // guarded by missing // want `no field missing`
+}

@@ -1,0 +1,137 @@
+package contractvet
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeUnit materializes a one-file package plus its cmd/go-style cfg in a
+// temp dir and returns the cfg path and the VetxOutput path.
+func writeUnit(t *testing.T, src string, mutate func(*vetConfig)) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	goFile := filepath.Join(dir, "core.go")
+	if err := os.WriteFile(goFile, []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	vetx := filepath.Join(dir, "unit.vetx")
+	cfg := vetConfig{
+		ID:         "fake/internal/core",
+		Compiler:   "gc",
+		Dir:        dir,
+		ImportPath: "fake/internal/core",
+		GoFiles:    []string{goFile},
+		VetxOutput: vetx,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgPath := filepath.Join(dir, "unit.cfg")
+	if err := os.WriteFile(cfgPath, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return cfgPath, vetx
+}
+
+const unguardedSrc = `package core
+
+func spawn() {
+	go func() {}()
+}
+`
+
+func TestRunUnitReportsAndWritesFacts(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, unguardedSrc, nil)
+	diags, fset, err := runUnit(cfgPath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %+v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.Analyzer != "recoverguard" {
+		t.Errorf("analyzer = %q, want recoverguard", d.Analyzer)
+	}
+	if !strings.Contains(d.Message, "panic-containment boundary") {
+		t.Errorf("message = %q, want panic-containment wording", d.Message)
+	}
+	if p := fset.Position(d.Pos); p.Line != 4 || !strings.HasSuffix(p.Filename, "core.go") {
+		t.Errorf("position = %v, want core.go:4", p)
+	}
+	// The facts file must exist even though the analyzers produce none:
+	// cmd/go refuses to cache the unit otherwise.
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written: %v", err)
+	}
+}
+
+func TestRunUnitVetxOnly(t *testing.T) {
+	cfgPath, vetx := writeUnit(t, unguardedSrc, func(cfg *vetConfig) {
+		cfg.VetxOnly = true
+	})
+	diags, _, err := runUnit(cfgPath, Analyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("VetxOnly unit produced diagnostics: %+v", diags)
+	}
+	if _, err := os.Stat(vetx); err != nil {
+		t.Errorf("VetxOutput not written for VetxOnly unit: %v", err)
+	}
+}
+
+func TestRunUnitSucceedOnTypecheckFailure(t *testing.T) {
+	src := "package core\n\nfunc broken() { undefined() }\n"
+	cfgPath, _ := writeUnit(t, src, func(cfg *vetConfig) {
+		cfg.SucceedOnTypecheckFailure = true
+	})
+	diags, _, err := runUnit(cfgPath, Analyzers())
+	if err != nil {
+		t.Fatalf("SucceedOnTypecheckFailure must swallow the type error, got %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("got diagnostics from an untypecheckable unit: %+v", diags)
+	}
+}
+
+func TestRunUnitTypecheckFailureIsAnError(t *testing.T) {
+	src := "package core\n\nfunc broken() { undefined() }\n"
+	cfgPath, _ := writeUnit(t, src, nil)
+	if _, _, err := runUnit(cfgPath, Analyzers()); err == nil {
+		t.Fatal("want a typecheck error, got nil")
+	}
+}
+
+func TestRunUnitMissingExportData(t *testing.T) {
+	src := "package core\n\nimport \"nowhere/dep\"\n\nvar _ = dep.X\n"
+	cfgPath, _ := writeUnit(t, src, nil)
+	if _, _, err := runUnit(cfgPath, Analyzers()); err == nil {
+		t.Fatal("want an error for an import with no export data, got nil")
+	}
+}
+
+func TestPrintJSONDiags(t *testing.T) {
+	fset := token.NewFileSet()
+	f := fset.AddFile("x.go", -1, 100)
+	pos := f.Pos(10)
+	var buf bytes.Buffer
+	printJSONDiags(&buf, fset, []Diagnostic{{Analyzer: "nondeterminism", Pos: pos, Message: "m"}})
+	var out []struct{ Posn, Analyzer, Message string }
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(out) != 1 || out[0].Analyzer != "nondeterminism" || out[0].Message != "m" {
+		t.Errorf("unexpected JSON diagnostics: %+v", out)
+	}
+}

@@ -1,0 +1,244 @@
+// Package vettest is an analysistest-style fixture harness for the
+// contractvet analyzers, built on the standard library alone. Fixture
+// packages live under the caller's testdata/src/<importpath>/ exactly as
+// with golang.org/x/tools' analysistest; expected findings are declared
+// with trailing `// want "regexp"` comments (multiple regexps per line
+// allowed), and the harness fails the test on any unmatched finding or
+// unmet expectation.
+//
+// Fixture packages are type-checked for real: imports of other fixture
+// packages resolve within testdata/src, and standard-library imports
+// compile from GOROOT source, so analyzers exercise the same go/types
+// surface they see under `go vet -vettool`.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"autophase/internal/contractvet"
+)
+
+// Run loads the fixture package at testdata/src/<pkgpath>, runs the
+// analyzers over it, and checks the findings against the `// want`
+// expectations in the fixture sources.
+func Run(t *testing.T, pkgpath string, analyzers ...*contractvet.Analyzer) {
+	t.Helper()
+	ld := newLoader(t, "testdata/src")
+	pkg, files, fset, info := ld.load(pkgpath)
+
+	diags := contractvet.Run(fset, files, pkg, info, analyzers)
+	wants := collectWants(t, fset, files)
+
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected finding [%s]: %s", p, d.Analyzer, d.Message)
+		}
+	}
+	wants.reportUnmet(t)
+}
+
+// loader typechecks fixture packages rooted at dir, resolving fixture
+// imports recursively and standard-library imports from GOROOT source.
+type loader struct {
+	t    *testing.T
+	dir  string
+	fset *token.FileSet
+	pkgs map[string]*loaded
+	std  types.Importer
+}
+
+type loaded struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// stdImporter compiles standard-library dependencies from GOROOT source
+// once per process: source-importing "fmt" or "time" pulls in a sizable
+// closure, so every test shares the importer's internal cache.
+var stdImporter = sync.OnceValue(func() types.Importer {
+	return importer.ForCompiler(token.NewFileSet(), "source", nil)
+})
+
+func newLoader(t *testing.T, dir string) *loader {
+	return &loader{
+		t:    t,
+		dir:  dir,
+		fset: token.NewFileSet(),
+		pkgs: make(map[string]*loaded),
+		std:  stdImporter(),
+	}
+}
+
+func (ld *loader) load(pkgpath string) (*types.Package, []*ast.File, *token.FileSet, *types.Info) {
+	ld.t.Helper()
+	l := ld.loadPkg(pkgpath)
+	return l.pkg, l.files, ld.fset, l.info
+}
+
+func (ld *loader) loadPkg(pkgpath string) *loaded {
+	ld.t.Helper()
+	if l, ok := ld.pkgs[pkgpath]; ok {
+		return l
+	}
+	dir := filepath.Join(ld.dir, filepath.FromSlash(pkgpath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		ld.t.Fatalf("vettest: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			ld.t.Fatalf("vettest: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		ld.t.Fatalf("vettest: no Go files in %s", dir)
+	}
+	info := contractvet.NewInfo()
+	tc := &types.Config{Importer: (*fixtureImporter)(ld)}
+	pkg, err := tc.Check(pkgpath, ld.fset, files, info)
+	if err != nil {
+		ld.t.Fatalf("vettest: typechecking %s: %v", pkgpath, err)
+	}
+	l := &loaded{pkg: pkg, files: files, info: info}
+	ld.pkgs[pkgpath] = l
+	return l
+}
+
+// fixtureImporter resolves imports during fixture typechecking: fixture
+// packages (present under testdata/src) first, the standard library
+// otherwise.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(fi)
+	if _, err := os.Stat(filepath.Join(ld.dir, filepath.FromSlash(path))); err == nil {
+		return ld.loadPkg(path).pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+// wantSet tracks `// want` expectations by "file:line".
+type wantSet struct {
+	byLine map[string][]*wantExpect
+}
+
+type wantExpect struct {
+	re  *regexp.Regexp
+	pos string
+	met bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{byLine: make(map[string][]*wantExpect)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, pat := range splitQuoted(t, p.String(), m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", p, pat, err)
+					}
+					ws.byLine[key] = append(ws.byLine[key], &wantExpect{re: re, pos: p.String()})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// splitQuoted extracts the quoted regexps of a want comment: either
+// "double-quoted" (Go-unquoted) or `backquoted` segments.
+func splitQuoted(t *testing.T, pos, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '\\' {
+					i++
+					continue
+				}
+				if s[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pat := strings.ReplaceAll(s[1:end], `\"`, `"`)
+			pats = append(pats, pat)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			pats = append(pats, s[1:1+end])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			t.Fatalf("%s: malformed want comment near %q", pos, s)
+		}
+	}
+	return pats
+}
+
+func (ws *wantSet) match(key, message string) bool {
+	for _, w := range ws.byLine[key] {
+		if !w.met && w.re.MatchString(message) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+func (ws *wantSet) reportUnmet(t *testing.T) {
+	t.Helper()
+	var unmet []string
+	for _, ws := range ws.byLine {
+		for _, w := range ws {
+			if !w.met {
+				unmet = append(unmet, fmt.Sprintf("%s: expected finding matching %q, got none", w.pos, w.re))
+			}
+		}
+	}
+	sort.Strings(unmet)
+	for _, u := range unmet {
+		t.Error(u)
+	}
+}

@@ -62,8 +62,8 @@ type Program struct {
 	// SetLimits/ResetSamples/EnableSanitizer observe no in-flight compile
 	// using the old configuration.
 	cfgMu    sync.RWMutex
-	lim      interp.Limits
-	sanitize bool
+	lim      interp.Limits // guarded by cfgMu
+	sanitize bool          // guarded by cfgMu
 
 	shards [cacheShards]cacheShard
 
@@ -73,8 +73,8 @@ type Program struct {
 	// index cannot be orphaned; unreferenced entries (the O0/O3 seeds, or
 	// leftovers after SetLimits) go first when the store exceeds fpStoreCap.
 	fpMu      sync.Mutex
-	fpEntries map[ir.Fingerprint]*fpEntry
-	fpOrder   []ir.Fingerprint // insertion order (eviction)
+	fpEntries map[ir.Fingerprint]*fpEntry // guarded by fpMu
+	fpOrder   []ir.Fingerprint            // guarded by fpMu; insertion order (eviction)
 
 	// featMemo memoizes feature vectors by fingerprint: feature extraction
 	// is pure in the IR, so IR-equal modules share one extraction.
@@ -85,8 +85,8 @@ type Program struct {
 	graphMemo features.Memo
 
 	irMu    sync.Mutex
-	irCache map[string]irEntry // optimized IR + fingerprint per sequence prefix
-	irOrder []string           // irCache keys in insertion order (eviction)
+	irCache map[string]irEntry // guarded by irMu; optimized IR + fingerprint per prefix
+	irOrder []string           // guarded by irMu; irCache keys in insertion order (eviction)
 
 	// The atomic stats block (EvalStats is its snapshot): samples is the
 	// paper's accounting unit, the rest are the evaluation engine's
@@ -112,30 +112,30 @@ type Program struct {
 	// every query of it is re-charged as one sample and one fault, exactly
 	// as a failed profile is, so accounting is worker-count invariant.
 	quarMu sync.Mutex
-	quar   map[string]*EvalFault
+	quar   map[string]*EvalFault // guarded by quarMu
 
 	// faultHook (SetFaultHook) observes physical panic/deadline faults;
 	// when unset, crash bundles go to the process-wide SetCrashDir sink.
 	hookMu    sync.Mutex
-	faultHook FaultHook
+	faultHook FaultHook // guarded by hookMu
 
 	bestMu  sync.Mutex
-	best    int64 // best cycle count seen since the last reset
-	bestSeq []int
+	best    int64 // guarded by bestMu; best cycle count seen since the last reset
+	bestSeq []int // guarded by bestMu
 
 	// Sanitizer mode (EnableSanitizer): every compile runs the pass
 	// sanitizer; a failing sequence is marked bad (Compile returns !ok, so
 	// the environment ends the episode with a penalty instead of learning
 	// from a corrupted reward) and the first report is retained.
 	sanMu     sync.Mutex
-	sanBad    map[string]bool
-	sanReport *passes.SanitizerReport
+	sanBad    map[string]bool         // guarded by sanMu
+	sanReport *passes.SanitizerReport // guarded by sanMu
 }
 
 type cacheShard struct {
 	mu       sync.RWMutex
-	cache    map[string]seqEntry
-	inflight map[string]*inflight
+	cache    map[string]seqEntry  // guarded by mu
+	inflight map[string]*inflight // guarded by mu
 	hits     atomic.Int64
 }
 
@@ -227,7 +227,9 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 
 // profile estimates m's cycle count, preferring the SCEV static fast path
 // over an interpreter run. Under the sanitizer both paths run and must
-// agree exactly. Callers hold cfgMu for read (or own p exclusively).
+// agree exactly.
+//
+//contractvet:locked lim,sanitize -- callers hold cfgMu for read (or own p exclusively)
 func (p *Program) profile(m *ir.Module) (*hls.Report, error) {
 	var rep *hls.Report
 	var err error
@@ -796,7 +798,8 @@ func (p *Program) buildIR(seq []int, key string, sanitize bool) (_ *ir.Module, _
 // entries first but never a strict prefix of key: episodes extend one
 // sequence a pass at a time, and evicting the active episode's own prefix
 // chain would force every subsequent step to recompile from scratch.
-// Callers hold irMu.
+//
+//contractvet:locked irCache,irOrder -- callers hold irMu
 func (p *Program) irCachePut(key string, e irEntry) {
 	if _, ok := p.irCache[key]; !ok {
 		for len(p.irCache) >= irCacheCap {

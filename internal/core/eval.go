@@ -58,6 +58,7 @@ type EvalResult struct {
 // worker is replaced rather than leaked and the batch completes, with the
 // interrupted index reported as Ok=false.
 func (e *Evaluator) EvalBatch(seqs [][]int) []EvalResult {
+	//contractvet:allow nondeterminism -- BatchWall is observability only; results and accounting are wall-clock independent
 	start := time.Now()
 	out := make([]EvalResult, len(seqs))
 	for i := range out {
@@ -71,6 +72,7 @@ func (e *Evaluator) EvalBatch(seqs [][]int) []EvalResult {
 		e.restarts.Add(1)
 	})
 	e.batches.Add(1)
+	//contractvet:allow nondeterminism -- observability only, as above
 	e.wallNS.Add(time.Since(start).Nanoseconds())
 	return out
 }

@@ -83,6 +83,7 @@ func (m *machine) poll() error {
 	if faults.Hit(faults.InterpStall) {
 		return fmt.Errorf("%w (injected stall)", ErrDeadline)
 	}
+	//contractvet:allow nondeterminism -- Limits.Deadline is opt-in (default 0 = off) and documented as trading determinism for a wall-clock bound
 	if !m.deadline.IsZero() && time.Now().After(m.deadline) {
 		return ErrDeadline
 	}
@@ -114,6 +115,7 @@ func Run(mod *ir.Module, lim Limits) (*Result, error) {
 		},
 	}
 	if lim.Deadline > 0 {
+		//contractvet:allow nondeterminism -- deadline anchor for the opt-in wall-clock bound; never read when Deadline is 0
 		m.deadline = time.Now().Add(lim.Deadline)
 	}
 	for _, g := range mod.Globals {

@@ -74,8 +74,10 @@ func (pm *Manager) ApplyPasses(m *ir.Module, ps []Pass) bool {
 			st = &RunStats{Name: p.Name()}
 			pm.stats[p.Name()] = st
 		}
+		//contractvet:allow nondeterminism -- RunStats.Duration is observability only; it never feeds rewards or IR
 		t0 := time.Now()
 		ch := p.Run(m)
+		//contractvet:allow nondeterminism -- observability only, as above
 		st.Duration += time.Since(t0)
 		st.Runs++
 		if ch {
