@@ -16,12 +16,13 @@ import (
 
 	"autophase/internal/core"
 	"autophase/internal/faults"
+	"autophase/internal/hls"
 	"autophase/internal/rl"
 	"autophase/internal/search"
 )
 
 // chaosSpec keeps every injection point active at a 1–5% rate.
-const chaosSpec = "pass-panic:0.03,interp-stall:0.02,profile-err:0.03,feature-panic:0.01"
+const chaosSpec = "pass-panic:0.03,interp-stall:0.02,profile-err:0.03,feature-panic:0.01,vm-panic:0.02"
 
 const chaosWorkers = 8
 
@@ -78,6 +79,18 @@ func TestChaosRandom(t *testing.T) {
 	runChaos(t, "matmul", func(p *core.Program) {
 		obj := core.NewEvaluator(p, chaosWorkers).Objective(10)
 		search.Random(obj, rand.New(rand.NewSource(4)), 300)
+	})
+}
+
+// TestChaosVMPinned pins the profiler to the bytecode VM so every injected
+// vm-panic fires inside the dispatch loop; containment must hold exactly as
+// it does for interpreter panics, with the panic surfacing as a contained
+// profile-stage fault rather than a dead worker.
+func TestChaosVMPinned(t *testing.T) {
+	runChaos(t, "gsm", func(p *core.Program) {
+		p.SetEngine(hls.EngineVM)
+		obj := core.NewEvaluator(p, chaosWorkers).Objective(10)
+		search.Random(obj, rand.New(rand.NewSource(11)), 300)
 	})
 }
 

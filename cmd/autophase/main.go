@@ -88,7 +88,13 @@ func main() {
 	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
 	crashDirFlag := flag.String("crashdir", "", "write a crash-repro bundle here for every contained panic/deadline fault")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per profile, e.g. 2s (0 = unbounded)")
+	engineFlag := flag.String("engine", "auto", "profiler backend: auto (static → vm → interp cascade), static, vm, or interp")
 	flag.Parse()
+
+	engine, err := hls.ParseEngine(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -139,6 +145,9 @@ func main() {
 	if *sanitize {
 		p.EnableSanitizer()
 	}
+	if engine != hls.EngineAuto {
+		p.SetEngine(engine)
+	}
 	if *crashDirFlag != "" {
 		core.SetCrashDir(*crashDirFlag)
 	}
@@ -184,7 +193,7 @@ func main() {
 		report(p, seq, p.O3Cycles)
 	default:
 		ev := core.NewEvaluator(p, *workers)
-		seq = optimize(p, ev, *algo, *budget, *seqLen, *objective)
+		seq = optimize(p, ev, *algo, *budget, *seqLen, *objective, engine)
 		best, bestSeq := p.BestCycles()
 		if bestSeq != nil {
 			seq = bestSeq
@@ -296,7 +305,12 @@ func lintMain(args []string, stdout, stderr io.Writer) int {
 	passList := fs.String("passes", "", "apply this comma-separated pass list before analyzing")
 	stats := fs.Bool("stats", false, "also print per-function analysis statistics")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per diagnostic line (exit 1 on errors, as in text mode)")
+	engineFlag := fs.String("engine", "auto", "profiler backend name accepted for CLI uniformity: auto, static, vm, or interp (lint never profiles)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if _, err := hls.ParseEngine(*engineFlag); err != nil {
+		fmt.Fprintln(stderr, "autophase:", err)
 		return 2
 	}
 
@@ -440,9 +454,10 @@ func parsePasses(s string) ([]int, error) {
 	return seq, nil
 }
 
-func optimize(p *core.Program, ev *core.Evaluator, algo string, budget, seqLen int, objective string) []int {
+func optimize(p *core.Program, ev *core.Evaluator, algo string, budget, seqLen int, objective string, engine hls.Engine) []int {
 	cfgEnv := core.DefaultEnv()
 	cfgEnv.EpisodeLen = seqLen
+	cfgEnv.Engine = engine
 	switch objective {
 	case "area":
 		cfgEnv.Objective = core.MinimizeArea

@@ -19,6 +19,7 @@ import (
 	"autophase/internal/core"
 	"autophase/internal/experiments"
 	"autophase/internal/faults"
+	"autophase/internal/hls"
 	"autophase/internal/profiling"
 )
 
@@ -32,7 +33,14 @@ func main() {
 	faultSpec := flag.String("faults", "", `fault-injection spec, e.g. "pass-panic:0.01,interp-stall:0.005"`)
 	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
 	crashDir := flag.String("crashdir", "", "write crash-repro bundles here for contained panic/deadline faults")
+	engineFlag := flag.String("engine", "auto", "profiler backend: auto (static → vm → interp cascade), static, vm, or interp")
 	flag.Parse()
+
+	engine, err := hls.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -59,6 +67,7 @@ func main() {
 	if *workers > 0 {
 		sc.Workers = *workers
 	}
+	sc.Engine = engine
 	runErr := run(*exp, sc, *csv)
 	stopProf()
 	if runErr != nil {

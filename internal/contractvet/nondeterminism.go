@@ -13,6 +13,7 @@ var detPkgSuffixes = []string{
 	"internal/passes",
 	"internal/core",
 	"internal/rl",
+	"internal/vm",
 }
 
 // NondeterminismAnalyzer flags wall-clock reads (time.Now/Since), draws

@@ -57,13 +57,19 @@ type Program struct {
 
 	hlsCfg hls.Config
 
-	// cfgMu guards the compile configuration (interpreter limits, sanitizer
-	// mode) against whole-cache operations: compiles hold it for read, so
-	// SetLimits/ResetSamples/EnableSanitizer observe no in-flight compile
-	// using the old configuration.
+	// profiler is the unified engine front end (static → VM → interpreter
+	// under EngineAuto). It owns the lowered-bytecode cache and the
+	// per-engine hit counters; its limits/engine/cross-check knobs are only
+	// ever changed under cfgMu so in-flight compiles (which hold cfgMu for
+	// read) never observe a mid-compile switch.
+	profiler *hls.Profiler
+
+	// cfgMu guards the compile configuration (interpreter limits, engine
+	// selection, sanitizer mode) against whole-cache operations: compiles
+	// hold it for read, so SetLimits/ResetSamples/EnableSanitizer observe
+	// no in-flight compile using the old configuration.
 	cfgMu    sync.RWMutex
-	lim      interp.Limits // guarded by cfgMu
-	sanitize bool          // guarded by cfgMu
+	sanitize bool // guarded by cfgMu
 
 	shards [cacheShards]cacheShard
 
@@ -101,7 +107,6 @@ type Program struct {
 	compiles     atomic.Int64 // physical compile+profile executions
 	cacheHits    atomic.Int64
 	merges       atomic.Int64 // singleflight-deduplicated concurrent compiles
-	staticHits   atomic.Int64 // profiles answered by the SCEV static estimator
 	fpHits       atomic.Int64 // new sequences sharing an existing profile by fingerprint
 	noopIR       atomic.Int64 // pass suffixes that changed nothing (module reused outright)
 	fpMismatches atomic.Int64 // sanitizer: stored fp profile disagreed with recompute
@@ -197,7 +202,7 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 		Name:      name,
 		orig:      m.Clone(),
 		hlsCfg:    hls.DefaultConfig,
-		lim:       interp.DefaultLimits,
+		profiler:  hls.NewProfiler(hls.ProfileOptions{}),
 		irCache:   make(map[string]irEntry),
 		fpEntries: make(map[ir.Fingerprint]*fpEntry),
 	}
@@ -205,14 +210,15 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 	for i := range p.shards {
 		p.shards[i].cache = make(map[string]seqEntry)
 	}
-	r0, err := p.profile(p.orig)
+	r0, err := p.profile(p.orig, p.origFP, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: O0 profile of %s: %w", name, err)
 	}
 	p.O0Cycles = r0.Cycles
 	o3 := p.orig.Clone()
 	passes.ApplyO3(o3)
-	r3, err := p.profile(o3)
+	fp3 := o3.Fingerprint()
+	r3, err := p.profile(o3, fp3, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: O3 profile of %s: %w", name, err)
 	}
@@ -221,27 +227,20 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 	// reproduces the unoptimized or the -O3 IR shares these profiles instead
 	// of re-running the profiler. Unreferenced, so evictable.
 	p.fpPublish(p.origFP, r0.Cycles, int64(r0.AreaLUT), false)
-	p.fpPublish(o3.Fingerprint(), r3.Cycles, int64(r3.AreaLUT), false)
+	p.fpPublish(fp3, r3.Cycles, int64(r3.AreaLUT), false)
 	return p, nil
 }
 
-// profile estimates m's cycle count, preferring the SCEV static fast path
-// over an interpreter run. Under the sanitizer both paths run and must
-// agree exactly.
-//
-//contractvet:locked lim,sanitize -- callers hold cfgMu for read (or own p exclusively)
-func (p *Program) profile(m *ir.Module) (*hls.Report, error) {
-	var rep *hls.Report
-	var err error
-	if p.sanitize {
-		rep, err = hls.ProfileChecked(m, p.hlsCfg, p.lim)
-	} else {
-		rep, err = hls.ProfileFast(m, p.hlsCfg, p.lim)
+// profile estimates m's cycle count through the unified engine front end
+// (static estimator → bytecode VM → tree-walking interpreter under the
+// default EngineAuto policy; SetEngine pins one). Callers that already
+// hold m's fingerprint pass it so the lowered-bytecode cache never
+// re-hashes. Under the sanitizer every engine runs and must agree exactly.
+func (p *Program) profile(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*hls.Report, error) {
+	if haveFP {
+		return p.profiler.ProfileFP(m, fp)
 	}
-	if err == nil && rep.Static {
-		p.staticHits.Add(1)
-	}
-	return rep, err
+	return p.profiler.Profile(m)
 }
 
 // Module returns a fresh clone of the original (unoptimized) module.
@@ -256,6 +255,10 @@ func (p *Program) EnableSanitizer() {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
 	p.sanitize = true
+	// Profiles join in: every engine (static, VM, interpreter) runs and
+	// must agree bit-for-bit, so a miscompiled reward can't slip through
+	// whichever engine happened to answer.
+	p.profiler.SetCrossCheck(true)
 	p.sanMu.Lock()
 	if p.sanBad == nil {
 		p.sanBad = make(map[string]bool)
@@ -608,7 +611,7 @@ func (p *Program) compileMiss(seq []int, key string) (res compileResult, cacheab
 		}
 	}
 	p.compiles.Add(1)
-	rep, pfault := p.profileSafe(m, seq)
+	rep, pfault := p.profileSafe(m, fp, seq)
 	if pfault != nil {
 		// Profile-class faults (limit overruns, traps, injected errors) are
 		// deliberately not cached or quarantined: the verdict depends on the
@@ -663,14 +666,14 @@ func (p *Program) extractSafe(m *ir.Module, fp ir.Fingerprint, seq []int) (feats
 // (transient under contention) get one bounded retry; everything else gets
 // none. Panics inside scheduling, the interpreter or the static estimator
 // become panic-class faults.
-func (p *Program) profileSafe(m *ir.Module, seq []int) (*hls.Report, *EvalFault) {
-	rep, err, fault := p.profileRecover(m, seq)
+func (p *Program) profileSafe(m *ir.Module, fp ir.Fingerprint, seq []int) (*hls.Report, *EvalFault) {
+	rep, err, fault := p.profileRecover(m, fp, seq)
 	if fault != nil {
 		return nil, fault
 	}
 	if err != nil && errors.Is(err, interp.ErrDeadline) {
 		p.retries.Add(1)
-		rep, err, fault = p.profileRecover(m, seq)
+		rep, err, fault = p.profileRecover(m, fp, seq)
 		if fault != nil {
 			return nil, fault
 		}
@@ -681,14 +684,14 @@ func (p *Program) profileSafe(m *ir.Module, seq []int) (*hls.Report, *EvalFault)
 	return rep, nil
 }
 
-func (p *Program) profileRecover(m *ir.Module, seq []int) (rep *hls.Report, err error, fault *EvalFault) {
+func (p *Program) profileRecover(m *ir.Module, fp ir.Fingerprint, seq []int) (rep *hls.Report, err error, fault *EvalFault) {
 	defer func() {
 		if v := recover(); v != nil {
 			rep, err = nil, nil
 			fault = newPanicFault(v, "profile", p.Name, seq)
 		}
 	}()
-	rep, err = p.profile(m)
+	rep, err = p.profile(m, fp, true)
 	return
 }
 
@@ -879,9 +882,23 @@ func (p *Program) ResetSamples(dropCache bool) {
 }
 
 // StaticProfiles reports how many profiler invocations were answered by the
-// SCEV-based static estimator instead of an interpreter run (baselines
+// SCEV-based static estimator instead of a dynamic engine run (baselines
 // included).
-func (p *Program) StaticProfiles() int { return int(p.staticHits.Load()) }
+func (p *Program) StaticProfiles() int { return int(p.profiler.Stats().StaticHits) }
+
+// SetEngine pins the profiler backend used by subsequent profiles
+// (hls.EngineAuto restores the static → VM → interpreter cascade). Caches
+// survive an engine switch: all engines produce bit-identical reports
+// wherever they overlap, which is exactly the contract the sanitizer's
+// cross-check mode enforces.
+func (p *Program) SetEngine(e hls.Engine) {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	p.profiler.SetEngine(e)
+}
+
+// Engine returns the current profiler backend policy.
+func (p *Program) Engine() hls.Engine { return p.profiler.Engine() }
 
 // SetLimits replaces the interpreter limits used by subsequent profiles and
 // drops the memoized compile results, whose success verdicts depend on the
@@ -892,7 +909,7 @@ func (p *Program) StaticProfiles() int { return int(p.staticHits.Load()) }
 func (p *Program) SetLimits(lim interp.Limits) {
 	p.cfgMu.Lock()
 	defer p.cfgMu.Unlock()
-	p.lim = lim
+	p.profiler.SetLimits(lim)
 	for i := range p.shards {
 		sh := &p.shards[i]
 		sh.mu.Lock()
@@ -985,6 +1002,11 @@ type EnvConfig struct {
 	// Program.SanitizerReport. Training gets slower but cannot silently
 	// learn from a broken reward oracle.
 	Sanitize bool
+	// Engine pins the profiler backend (hls.EngineStatic, hls.EngineVM,
+	// hls.EngineInterp); the zero value hls.EngineAuto keeps the default
+	// static → VM → interpreter cascade. All engines are bit-identical
+	// where they overlap, so this trades speed, not results.
+	Engine hls.Engine
 	// NoProfile puts the environment in inference mode: steps extend the
 	// sequence and observe features through the profiler-free FeaturesAfter
 	// path, but the clock-cycle profiler never runs, rewards are zero and

@@ -2,6 +2,7 @@ package core
 
 import (
 	"autophase/internal/features"
+	"autophase/internal/hls"
 	"autophase/internal/passes"
 )
 
@@ -45,6 +46,9 @@ type PhaseEnv struct {
 func NewPhaseEnv(p *Program, cfg EnvConfig) *PhaseEnv {
 	if cfg.Sanitize {
 		p.EnableSanitizer()
+	}
+	if cfg.Engine != hls.EngineAuto {
+		p.SetEngine(cfg.Engine)
 	}
 	return &PhaseEnv{Cfg: cfg, Program: p}
 }
@@ -193,6 +197,9 @@ type MultiPhaseEnv struct {
 func NewMultiPhaseEnv(p *Program, cfg EnvConfig, slots, steps int) *MultiPhaseEnv {
 	if cfg.Sanitize {
 		p.EnableSanitizer()
+	}
+	if cfg.Engine != hls.EngineAuto {
+		p.SetEngine(cfg.Engine)
 	}
 	return &MultiPhaseEnv{Cfg: cfg, Program: p, Slots: slots, Steps: steps}
 }

@@ -110,6 +110,8 @@ type EvalStats struct {
 	CacheHits  int64 // memoized answers (sum of ShardHits)
 	Merges     int64 // concurrent duplicate compiles folded by singleflight
 	StaticHits int64 // profiles answered by the SCEV static estimator
+	VMHits     int64 // profiles answered by the bytecode VM
+	InterpHits int64 // profiles answered by the tree-walking interpreter
 	FPHits     int64 // new sequences whose IR fingerprint matched an existing profile
 	NoopIR     int64 // pass suffixes that changed nothing (base module reused, no re-hash)
 	// FPMismatches counts sanitizer-mode recomputes that disagreed with the
@@ -137,8 +139,8 @@ func (s EvalStats) String() string {
 			hot++
 		}
 	}
-	str := fmt.Sprintf("samples=%d compiles=%d fp-hits=%d noop-ir=%d cache-hits=%d (%d/%d shards) merges=%d static=%d",
-		s.Samples, s.Compiles, s.FPHits, s.NoopIR, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits)
+	str := fmt.Sprintf("samples=%d compiles=%d fp-hits=%d noop-ir=%d cache-hits=%d (%d/%d shards) merges=%d static=%d vm=%d interp=%d",
+		s.Samples, s.Compiles, s.FPHits, s.NoopIR, s.CacheHits, hot, cacheShards, s.Merges, s.StaticHits, s.VMHits, s.InterpHits)
 	if s.FPMismatches > 0 {
 		str += fmt.Sprintf(" FP-MISMATCHES=%d", s.FPMismatches)
 	}
@@ -156,12 +158,15 @@ func (s EvalStats) String() string {
 // EvalStats snapshots the program-level counters (everything except the
 // per-batch numbers, which live on an Evaluator).
 func (p *Program) EvalStats() EvalStats {
+	eng := p.profiler.Stats()
 	s := EvalStats{
 		Samples:      p.samples.Load(),
 		Compiles:     p.compiles.Load(),
 		CacheHits:    p.cacheHits.Load(),
 		Merges:       p.merges.Load(),
-		StaticHits:   p.staticHits.Load(),
+		StaticHits:   eng.StaticHits,
+		VMHits:       eng.VMHits,
+		InterpHits:   eng.InterpHits,
 		FPHits:       p.fpHits.Load(),
 		NoopIR:       p.noopIR.Load(),
 		FPMismatches: p.fpMismatches.Load(),

@@ -133,6 +133,7 @@ func envCfg(obs core.ObsKind, sc Scale) core.EnvConfig {
 	cfg := core.DefaultEnv()
 	cfg.Obs = obs
 	cfg.EpisodeLen = sc.EpisodeLen
+	cfg.Engine = sc.Engine
 	return cfg
 }
 

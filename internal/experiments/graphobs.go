@@ -18,7 +18,7 @@ type GraphObsResult struct {
 // programs. Same seed, normalization and budget — any gap between the arms
 // is attributable to the extra call-graph/CFG structure in the observation.
 func GraphObsAB(train, test []*core.Program, sc Scale) []GraphObsResult {
-	base := core.EnvConfig{Obs: core.ObsBoth, Norm: core.NormTotal, EpisodeLen: sc.EpisodeLen, RewardLog: true}
+	base := core.EnvConfig{Obs: core.ObsBoth, Norm: core.NormTotal, EpisodeLen: sc.EpisodeLen, RewardLog: true, Engine: sc.Engine}
 	graph := base
 	graph.GraphObs = true
 	arms := []GenSetting{

@@ -38,6 +38,11 @@ const (
 	// FeaturePanic panics inside feature extraction (registered in
 	// features.Extract).
 	FeaturePanic
+	// VMPanic panics inside the bytecode VM's dispatch setup (registered in
+	// vm.Run, contained by core's profile-stage recover boundary). The VM
+	// also draws InterpStall at its strided poll, exactly like the
+	// tree-walking interpreter.
+	VMPanic
 
 	numPoints
 )
@@ -47,6 +52,7 @@ var pointNames = [numPoints]string{
 	InterpStall:  "interp-stall",
 	ProfileErr:   "profile-err",
 	FeaturePanic: "feature-panic",
+	VMPanic:      "vm-panic",
 }
 
 // String returns the spec name of the point ("pass-panic", ...).

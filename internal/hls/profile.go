@@ -19,17 +19,31 @@ type Report struct {
 	// instead of an interpreter run. On static reports Exit is only
 	// populated when the return value is itself statically determined.
 	Static bool
+	// Engine records which backend produced the report (EngineStatic,
+	// EngineVM or EngineInterp; under CrossCheck, the engine EngineAuto
+	// would have chosen).
+	Engine Engine
 }
 
-// Profile schedules the module and executes it to estimate the clock-cycle
-// count of the synthesized circuit. It returns an error when the program
-// fails to execute (trap, limit), which search drivers treat as an invalid
-// candidate.
+// Profile schedules the module and executes it under the tree-walking
+// interpreter to estimate the clock-cycle count of the synthesized circuit.
+// It returns an error when the program fails to execute (trap, limit),
+// which search drivers treat as an invalid candidate.
+//
+// Deprecated: use Profiler with EngineInterp pinned; Profile remains as the
+// interpreter engine's implementation.
 func Profile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
+	rep, _, err := interpProfile(m, cfg, lim)
+	return rep, err
+}
+
+// interpProfile is the interpreter engine: it returns the raw interp.Result
+// alongside the report so the cross-check can compare print traces.
+func interpProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, *interp.Result, error) {
 	sched := Schedule(m, cfg)
 	res, err := interp.Run(m, lim)
 	if err != nil {
-		return nil, fmt.Errorf("hls profile: %w", err)
+		return nil, nil, fmt.Errorf("hls profile: %w", err)
 	}
 	var cycles int64
 	for b, n := range res.Blocks {
@@ -46,7 +60,8 @@ func Profile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
 		AreaLUT: sched.Area(),
 		Steps:   res.Steps,
 		Exit:    res.Exit,
-	}, nil
+		Engine:  EngineInterp,
+	}, res, nil
 }
 
 // Cycles is a convenience wrapper returning only the cycle estimate.

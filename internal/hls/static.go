@@ -5,7 +5,6 @@ import (
 	"math"
 
 	"autophase/internal/analysis"
-	"autophase/internal/faults"
 	"autophase/internal/interp"
 	"autophase/internal/ir"
 )
@@ -197,6 +196,7 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 		AreaLUT: sched.Area(),
 		Steps:   int(steps),
 		Static:  true,
+		Engine:  EngineStatic,
 	}
 	// Exit is populated only when the returned value is itself a static
 	// point; frequency-exactness does not require value-exactness.
@@ -206,41 +206,27 @@ func StaticProfile(m *ir.Module, cfg Config, lim interp.Limits) (*Report, bool) 
 	return rep, true
 }
 
-// ProfileFast returns the static estimate when the module admits one and
-// falls back to the interpreter-backed Profile otherwise. It carries the
-// profile-err fault-injection point: one draw per profile operation,
-// regardless of which path answers.
+// ProfileFast profiles with automatic engine selection (static estimate
+// when the module admits one, the bytecode VM when it lowers, the
+// interpreter otherwise). It carries the profile-err fault-injection point:
+// one draw per profile operation, regardless of which engine answers.
+//
+// Deprecated: use Profiler (NewProfiler(ProfileOptions{Config: cfg,
+// Limits: lim}).Profile(m)); kept one release while callers migrate. Note
+// that a long-lived Profiler also reuses its lowered-program cache, which
+// this per-call wrapper cannot.
 func ProfileFast(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
-	if err := faults.Fail(faults.ProfileErr); err != nil {
-		return nil, fmt.Errorf("hls profile: %w", err)
-	}
-	if rep, ok := StaticProfile(m, cfg, lim); ok {
-		return rep, nil
-	}
-	return Profile(m, cfg, lim)
+	return NewProfiler(ProfileOptions{Config: cfg, Limits: lim}).Profile(m)
 }
 
-// ProfileChecked runs both the static and the interpreted path and errors
-// when the static path claimed applicability but disagreed — the sanitizer
-// cross-check for the fast path. The returned report is the interpreter's.
+// ProfileChecked runs every applicable engine and errors when any of them
+// disagrees with the interpreter — the sanitizer cross-check for the fast
+// paths. The returned report is the interpreter's.
+//
+// Deprecated: use Profiler with ProfileOptions.CrossCheck; kept one release
+// while callers migrate.
 func ProfileChecked(m *ir.Module, cfg Config, lim interp.Limits) (*Report, error) {
-	if err := faults.Fail(faults.ProfileErr); err != nil {
-		return nil, fmt.Errorf("hls profile: %w", err)
-	}
-	static, ok := StaticProfile(m, cfg, lim)
-	rep, err := Profile(m, cfg, lim)
-	if !ok {
-		return rep, err
-	}
-	if err != nil {
-		return rep, fmt.Errorf("hls static profile: claimed success but interpreter failed: %w", err)
-	}
-	if static.Cycles != rep.Cycles || static.Steps != rep.Steps {
-		return rep, fmt.Errorf("hls static profile: cycles %d / steps %d, interpreter got cycles %d / steps %d",
-			static.Cycles, static.Steps, rep.Cycles, rep.Steps)
-	}
-	rep.Static = true
-	return rep, nil
+	return NewProfiler(ProfileOptions{Config: cfg, Limits: lim, CrossCheck: true}).Profile(m)
 }
 
 // Recheck profiles m from scratch on the fully cross-checked path and

@@ -291,6 +291,23 @@ func BenchmarkProfileStaticVsInterp(b *testing.B) {
 				}
 			}
 		})
+		b.Run(tc.name+"/vm", func(b *testing.B) {
+			// A warm profiler, as in the search loop: the compile cache
+			// already holds the module fingerprint (core always profiles
+			// through ProfileFP), lowering is paid once into the
+			// fingerprint-keyed cache, execution every iteration.
+			prof := hls.NewProfiler(hls.ProfileOptions{Config: cfg, Limits: lim, Engine: hls.EngineVM})
+			fp := tc.mod.Fingerprint()
+			if _, err := prof.ProfileFP(tc.mod, fp); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := prof.ProfileFP(tc.mod, fp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 		b.Run(tc.name+"/interp", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := hls.Profile(tc.mod, cfg, lim); err != nil {

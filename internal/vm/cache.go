@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"sync"
+
+	"autophase/internal/ir"
+)
+
+// Cache memoizes lowering results by module fingerprint, including negative
+// results: a module the lowerer declines will decline identically every
+// time (lowering is deterministic), so the decline is cached and the
+// interpreter fallback pays no repeated lowering attempt. Entries are
+// evicted FIFO at capacity — like the profile store, the sequence spaces
+// explored by search revisit recent fingerprints heavily.
+//
+// A cache is bound to one HLS schedule config by construction: the folded
+// block weights inside a Program depend on it, so callers must key one
+// Cache per config (hls.Profiler owns exactly one).
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[ir.Fingerprint]cacheEntry
+	order []ir.Fingerprint // insertion order for FIFO eviction
+}
+
+type cacheEntry struct {
+	prog *Program
+	err  error
+}
+
+// DefaultCacheCap bounds the lowered-program store; programs are a few KB,
+// so this is a few MB at worst.
+const DefaultCacheCap = 512
+
+// NewCache returns a cache holding at most capacity lowered programs
+// (DefaultCacheCap if capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCap
+	}
+	return &Cache{
+		cap:   capacity,
+		items: make(map[ir.Fingerprint]cacheEntry, capacity),
+	}
+}
+
+// Get returns the cached lowering outcome for fp. ok reports whether the
+// fingerprint was present; when it is, exactly one of prog/err is non-nil.
+func (c *Cache) Get(fp ir.Fingerprint) (prog *Program, err error, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[fp]
+	return e.prog, e.err, ok
+}
+
+// Put records the lowering outcome for fp, evicting the oldest entry at
+// capacity. Programs are immutable once published, so concurrent readers
+// of an entry being evicted keep a consistent value.
+func (c *Cache) Put(fp ir.Fingerprint, prog *Program, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.items[fp]; exists {
+		return // first writer wins; lowering is deterministic anyway
+	}
+	for len(c.items) >= c.cap && len(c.order) > 0 {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, oldest)
+	}
+	c.items[fp] = cacheEntry{prog: prog, err: err}
+	c.order = append(c.order, fp)
+}
+
+// Len reports the number of cached entries (positive and negative).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
