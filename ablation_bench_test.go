@@ -9,7 +9,6 @@ import (
 
 	"autophase/internal/core"
 	"autophase/internal/hls"
-	"autophase/internal/interp"
 	"autophase/internal/passes"
 	"autophase/internal/progen"
 )
@@ -56,9 +55,10 @@ func BenchmarkAblationFrequency(b *testing.B) {
 	for _, mhz := range []float64{400, 200, 100, 50} {
 		cfg := hls.Config{FrequencyMHz: mhz, MemPorts: 2, Dividers: 1}
 		b.Run(benchName(mhz), func(b *testing.B) {
+			prof := hls.NewProfiler(hls.ProfileOptions{Config: cfg, Engine: hls.EngineInterp})
 			var cycles int64
 			for i := 0; i < b.N; i++ {
-				rep, err := hls.Profile(m, cfg, interp.DefaultLimits)
+				rep, err := prof.Profile(m)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -87,12 +87,13 @@ func benchName(mhz float64) string {
 func BenchmarkAblationO3VsBestKnown(b *testing.B) {
 	orig := progen.Benchmark("matmul")
 	best := []int{11, 23, 5, 12, 33, 5, 36, 31} // found by greedy at 2.5k samples
+	prof := hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
 	b.Run("O3", func(b *testing.B) {
 		var cycles int64
 		for i := 0; i < b.N; i++ {
 			m := orig.Clone()
 			passes.ApplyO3(m)
-			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			rep, err := prof.Profile(m)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -105,7 +106,7 @@ func BenchmarkAblationO3VsBestKnown(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			m := orig.Clone()
 			passes.Apply(m, best)
-			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			rep, err := prof.Profile(m)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -14,7 +14,6 @@ import (
 	"autophase/internal/features"
 	"autophase/internal/forest"
 	"autophase/internal/hls"
-	"autophase/internal/interp"
 	"autophase/internal/passes"
 	"autophase/internal/progen"
 )
@@ -45,9 +44,10 @@ func BenchmarkTable2FeatureExtraction(b *testing.B) {
 // unit of the paper's samples-per-program axis.
 func BenchmarkHLSProfile(b *testing.B) {
 	m := progen.Benchmark("sha")
+	prof := hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits); err != nil {
+		if _, err := prof.Profile(m); err != nil {
 			b.Fatal(err)
 		}
 	}

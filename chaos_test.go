@@ -9,11 +9,14 @@
 package autophase_test
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
+	"autophase/internal/artifact"
 	"autophase/internal/core"
 	"autophase/internal/faults"
 	"autophase/internal/hls"
@@ -120,6 +123,83 @@ func TestChaosES(t *testing.T) {
 			agent.Generation(envs)
 		}
 	})
+}
+
+// TestChaosDiskCorrupt attacks the persistent artifact store from both
+// sides — real on-disk bit flips between runs, plus the disk-corrupt
+// injection point during segment load — and demands the warm search still
+// reproduce the uncached search bit-for-bit. Corruption must only ever
+// demote records to misses, never change results.
+func TestChaosDiskCorrupt(t *testing.T) {
+	run := func(st *artifact.Store) (int64, []int, int) {
+		core.SetDefaultArtifacts(st)
+		defer core.SetDefaultArtifacts(nil)
+		p := detProgram(t, "matmul")
+		obj := core.NewEvaluator(p, chaosWorkers).Objective(10)
+		search.Random(obj, rand.New(rand.NewSource(21)), 200)
+		best, seq := p.BestCycles()
+		return best, seq, p.Samples()
+	}
+
+	wantBest, wantSeq, wantSamples := run(nil)
+
+	dir := t.TempDir()
+	st, err := artifact.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldBest, coldSeq, coldSamples := run(st)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if coldBest != wantBest || fmt.Sprint(coldSeq) != fmt.Sprint(wantSeq) || coldSamples != wantSamples {
+		t.Fatalf("cold cached search diverged: best %d seq %v samples %d, want %d %v %d",
+			coldBest, coldSeq, coldSamples, wantBest, wantSeq, wantSamples)
+	}
+
+	// Flip a spray of bytes across every segment, header included, so the
+	// reload sees bad checksums, torn framing, and possibly version skew.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to corrupt (err=%v)", err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flips := 1 + len(data)/512
+		for i := 0; i < flips; i++ {
+			data[rng.Intn(len(data))] ^= 1 << uint(rng.Intn(8))
+		}
+		if err := os.WriteFile(seg, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopen under disk-corrupt injection as well: records that survived the
+	// byte spray are additionally dropped at random during load.
+	spec, err := faults.ParseSpec("disk-corrupt:0.2", 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(spec)
+	st2, err := artifact.Open(dir, 0)
+	faults.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+
+	warmBest, warmSeq, warmSamples := run(st2)
+	if warmBest != wantBest || fmt.Sprint(warmSeq) != fmt.Sprint(wantSeq) || warmSamples != wantSamples {
+		t.Fatalf("search after corruption diverged: best %d seq %v samples %d, want %d %v %d",
+			warmBest, warmSeq, warmSamples, wantBest, wantSeq, wantSamples)
+	}
+	if stats := st2.Stats(); stats.Corrupt == 0 {
+		t.Fatalf("corrupted store reloaded without counting any corruption: %+v", stats)
+	}
 }
 
 func TestChaosPPO(t *testing.T) {

@@ -39,6 +39,7 @@ import (
 	"math/rand"
 
 	"autophase/internal/analysis"
+	"autophase/internal/artifact"
 	"autophase/internal/core"
 	"autophase/internal/faults"
 	"autophase/internal/features"
@@ -89,12 +90,20 @@ func main() {
 	crashDirFlag := flag.String("crashdir", "", "write a crash-repro bundle here for every contained panic/deadline fault")
 	deadline := flag.Duration("deadline", 0, "wall-clock deadline per profile, e.g. 2s (0 = unbounded)")
 	engineFlag := flag.String("engine", "auto", "profiler backend: auto (static → vm → interp cascade), static, vm, or interp")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (profiles, features, lowered bytecode survive restarts)")
+	cacheBudget := flag.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default); whole segments evict oldest-first")
 	flag.Parse()
 
 	engine, err := hls.ParseEngine(*engineFlag)
 	if err != nil {
 		fatal(err)
 	}
+
+	closeArtifacts, err := openArtifacts(*cacheDir, *cacheBudget)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeArtifacts()
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -387,7 +396,15 @@ func runCollect(args []string) {
 	epLen := fs.Int("len", 14, "passes per episode")
 	seed := fs.Int64("seed", 1, "exploration RNG seed")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "parallel episode workers (tuples identical at any count)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory")
+	cacheBudget := fs.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default)")
 	fs.Parse(args)
+
+	closeArtifacts, err := openArtifacts(*cacheDir, *cacheBudget)
+	if err != nil {
+		fatal(err)
+	}
+	defer closeArtifacts()
 
 	m, err := loadProgram(*prog)
 	if err != nil {
@@ -631,6 +648,25 @@ func failCompile(p *core.Program) {
 		fatal(fmt.Errorf("sanitizer detected a miscompiling pass sequence"))
 	}
 	fatal(fmt.Errorf("compilation failed"))
+}
+
+// openArtifacts opens the persistent artifact cache when -cache-dir is set
+// and installs it as the process default, so every Program built afterwards
+// (baselines included) reads through and writes behind it. The returned
+// closer drains pending writes; with no -cache-dir it is a no-op.
+func openArtifacts(dir string, budget int64) (func(), error) {
+	if dir == "" {
+		return func() {}, nil
+	}
+	st, err := artifact.Open(dir, budget)
+	if err != nil {
+		return nil, err
+	}
+	core.SetDefaultArtifacts(st)
+	return func() {
+		core.SetDefaultArtifacts(nil)
+		st.Close()
+	}, nil
 }
 
 func fatal(err error) {

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"autophase/internal/artifact"
 	"autophase/internal/core"
 	"autophase/internal/experiments"
 	"autophase/internal/faults"
@@ -34,12 +35,27 @@ func main() {
 	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
 	crashDir := flag.String("crashdir", "", "write crash-repro bundles here for contained panic/deadline faults")
 	engineFlag := flag.String("engine", "auto", "profiler backend: auto (static → vm → interp cascade), static, vm, or interp")
+	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (profiles, features, lowered bytecode survive restarts)")
+	cacheBudget := flag.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default)")
 	flag.Parse()
 
 	engine, err := hls.ParseEngine(*engineFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+
+	if *cacheDir != "" {
+		st, err := artifact.Open(*cacheDir, *cacheBudget)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		core.SetDefaultArtifacts(st)
+		defer func() {
+			core.SetDefaultArtifacts(nil)
+			st.Close()
+		}()
 	}
 
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)

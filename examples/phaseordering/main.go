@@ -14,7 +14,6 @@ import (
 	"log"
 
 	"autophase/internal/hls"
-	"autophase/internal/interp"
 	"autophase/internal/ir"
 	"autophase/internal/passes"
 	"autophase/internal/progen"
@@ -59,10 +58,12 @@ func buildNorm(n int) *ir.Module {
 	return m
 }
 
+var profiler = hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
+
 func cyclesAfter(m *ir.Module, seq []int) int64 {
 	c := m.Clone()
 	passes.Apply(c, seq)
-	rep, err := hls.Profile(c, hls.DefaultConfig, interp.DefaultLimits)
+	rep, err := profiler.Profile(c)
 	if err != nil {
 		log.Fatal(err)
 	}

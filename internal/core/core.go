@@ -6,12 +6,14 @@
 package core
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 	"sync"
 	"sync/atomic"
 
+	"autophase/internal/artifact"
 	"autophase/internal/features"
 	"autophase/internal/hls"
 	"autophase/internal/interp"
@@ -89,6 +91,13 @@ type Program struct {
 	// graphMemo memoizes the opt-in graph feature block, also by
 	// fingerprint, in its own keyspace (the vectors have different shapes).
 	graphMemo features.Memo
+
+	// artifacts is the optional persistent tier beneath the in-memory
+	// memos: feature and graph-feature vectors for previously seen
+	// fingerprints are read from disk instead of re-extracted, and fresh
+	// extractions are written behind. The profiler holds the same store for
+	// profile verdicts and lowered bytecode. Nil means memory-only.
+	artifacts atomic.Pointer[artifact.Store]
 
 	irMu    sync.Mutex
 	irCache map[string]irEntry // guarded by irMu; optimized IR + fingerprint per prefix
@@ -195,6 +204,20 @@ type compileResult struct {
 	fault  *EvalFault // non-nil when ok=false because the compile faulted
 }
 
+// defaultArtifacts is the process-wide store NewProgram attaches to every
+// new Program (SetDefaultArtifacts). A global is the right shape here: the
+// store is content-addressed, so every Program in the process shares one
+// correctly by construction, and the baseline profiles inside NewProgram
+// warm from disk too — an explicit post-construction attach would miss
+// them.
+var defaultArtifacts atomic.Pointer[artifact.Store]
+
+// SetDefaultArtifacts sets (nil clears) the persistent artifact store that
+// subsequent NewProgram calls attach. Programs hold the store they were
+// built with; callers own Close ordering (close after the programs are
+// done).
+func SetDefaultArtifacts(st *artifact.Store) { defaultArtifacts.Store(st) }
+
 // NewProgram profiles the unoptimized and -O3 baselines and returns the
 // wrapped program. The module is cloned; the caller's copy is not touched.
 func NewProgram(name string, m *ir.Module) (*Program, error) {
@@ -205,6 +228,10 @@ func NewProgram(name string, m *ir.Module) (*Program, error) {
 		profiler:  hls.NewProfiler(hls.ProfileOptions{}),
 		irCache:   make(map[string]irEntry),
 		fpEntries: make(map[ir.Fingerprint]*fpEntry),
+	}
+	if st := defaultArtifacts.Load(); st != nil {
+		p.artifacts.Store(st)
+		p.profiler.SetArtifacts(st)
 	}
 	p.origFP = p.orig.Fingerprint()
 	for i := range p.shards {
@@ -245,6 +272,15 @@ func (p *Program) profile(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*hls.Re
 
 // Module returns a fresh clone of the original (unoptimized) module.
 func (p *Program) Module() *ir.Module { return p.orig.Clone() }
+
+// SetArtifacts attaches (nil detaches) a persistent artifact store to this
+// Program and its profiler. Tests use it for explicit stores; production
+// wiring goes through SetDefaultArtifacts so the NewProgram baselines warm
+// too.
+func (p *Program) SetArtifacts(st *artifact.Store) {
+	p.artifacts.Store(st)
+	p.profiler.SetArtifacts(st)
+}
 
 // EnableSanitizer switches every subsequent Compile into sanitized mode:
 // after each pass of a sequence the collect-all verifier and the dataflow
@@ -650,7 +686,10 @@ func (p *Program) buildIRSafe(seq []int, key string, sanitize bool) (m *ir.Modul
 }
 
 // extractSafe is memoized feature extraction behind the feature-stage
-// containment boundary.
+// containment boundary, with the persistent tier underneath the memo: a
+// disk record for the fingerprint skips extraction entirely (features are
+// pure in the IR, so the stored vector IS the extraction), and fresh
+// extractions are written behind.
 func (p *Program) extractSafe(m *ir.Module, fp ir.Fingerprint, seq []int) (feats []int64, fault *EvalFault) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -658,7 +697,68 @@ func (p *Program) extractSafe(m *ir.Module, fp ir.Fingerprint, seq []int) (feats
 			fault = newPanicFault(v, "features", p.Name, seq)
 		}
 	}()
-	return p.featMemo.Extract(m, fp), nil
+	st := p.artifacts.Load()
+	if st == nil {
+		return p.featMemo.Extract(m, fp), nil
+	}
+	if f := p.featMemo.Get(fp); f != nil {
+		return f, nil
+	}
+	k := artifact.Key{FP: fp, Kind: artifact.KindFeatures}
+	if data, ok := st.Get(k); ok {
+		if vec, ok := decodeVec(data, features.NumFeatures); ok {
+			return p.featMemo.Put(fp, vec), nil
+		}
+		st.NoteCorrupt(k)
+	}
+	f := p.featMemo.Extract(m, fp)
+	st.Put(k, encodeVec(f))
+	return f, nil
+}
+
+// graphExtract is extractSafe's shape for the graph feature block (no
+// containment boundary of its own: GraphFeaturesAfter carries one).
+func (p *Program) graphExtract(m *ir.Module, fp ir.Fingerprint) []int64 {
+	st := p.artifacts.Load()
+	if st == nil {
+		return p.graphMemo.ExtractGraph(m, fp)
+	}
+	if f := p.graphMemo.Get(fp); f != nil {
+		return f
+	}
+	k := artifact.Key{FP: fp, Kind: artifact.KindGraphFeatures}
+	if data, ok := st.Get(k); ok {
+		if vec, ok := decodeVec(data, features.NumGraphFeatures); ok {
+			return p.graphMemo.Put(fp, vec)
+		}
+		st.NoteCorrupt(k)
+	}
+	f := p.graphMemo.ExtractGraph(m, fp)
+	st.Put(k, encodeVec(f))
+	return f
+}
+
+// encodeVec/decodeVec carry a feature vector as packed little-endian i64s.
+// The expected element count is part of the contract: a record of any
+// other length is corruption (or a feature-set version change, which must
+// read as a miss so the new extractor's vector overwrites it).
+func encodeVec(v []int64) []byte {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+	}
+	return buf
+}
+
+func decodeVec(data []byte, n int) ([]int64, bool) {
+	if len(data) != 8*n {
+		return nil, false
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = int64(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return v, true
 }
 
 // profileSafe is the profiler behind the profile-stage containment
@@ -1181,5 +1281,5 @@ func (p *Program) GraphFeaturesAfter(seq []int) (out []int64) {
 		// polluting the fingerprint-keyed memo.
 		return features.ExtractGraph(m)
 	}
-	return p.graphMemo.ExtractGraph(m, fp)
+	return p.graphExtract(m, fp)
 }

@@ -43,6 +43,11 @@ const (
 	// also draws InterpStall at its strided poll, exactly like the
 	// tree-walking interpreter.
 	VMPanic
+	// DiskCorrupt marks a record in the persistent artifact store as
+	// corrupt while it is decoded (registered in artifact.Store's segment
+	// loader). The store's contract turns corruption into a cache miss, so
+	// a hit at this point exercises the rewrite path, never an error path.
+	DiskCorrupt
 
 	numPoints
 )
@@ -53,6 +58,7 @@ var pointNames = [numPoints]string{
 	ProfileErr:   "profile-err",
 	FeaturePanic: "feature-panic",
 	VMPanic:      "vm-panic",
+	DiskCorrupt:  "disk-corrupt",
 }
 
 // String returns the spec name of the point ("pass-panic", ...).

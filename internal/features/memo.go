@@ -64,6 +64,24 @@ func (mo *Memo) ExtractGraph(m *ir.Module, fp ir.Fingerprint) []int64 {
 	return f
 }
 
+// Put publishes a vector computed elsewhere — a persistent artifact store
+// restoring a previous process's extraction — under fp. The first
+// published vector for a fingerprint wins (extraction is pure, so any
+// copy is the right one); the winning vector is returned and must be
+// treated as immutable, exactly like Extract's.
+func (mo *Memo) Put(fp ir.Fingerprint, f []int64) []int64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if prev, ok := mo.m[fp]; ok {
+		return prev
+	}
+	if mo.m == nil {
+		mo.m = make(map[ir.Fingerprint][]int64)
+	}
+	mo.m[fp] = f
+	return f
+}
+
 // Reset drops every memoized vector.
 func (mo *Memo) Reset() {
 	mo.mu.Lock()

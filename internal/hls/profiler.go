@@ -1,11 +1,13 @@
 package hls
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"autophase/internal/artifact"
 	"autophase/internal/faults"
 	"autophase/internal/interp"
 	"autophase/internal/ir"
@@ -83,24 +85,50 @@ type ProfileOptions struct {
 // so the cache is only valid for one config); limits, engine and
 // cross-check mode may be changed at runtime.
 type Profiler struct {
-	cfg   Config
-	cache *vm.Cache
+	cfg    Config
+	cfgKey uint64 // artifact.HashString of the rendered config
+	cache  *vm.Cache
 
 	mu     sync.RWMutex
-	lim    interp.Limits // guarded by mu
-	engine Engine        // guarded by mu
-	check  bool          // guarded by mu
+	lim    interp.Limits   // guarded by mu
+	engine Engine          // guarded by mu
+	check  bool            // guarded by mu
+	store  *artifact.Store // guarded by mu; nil = no persistence
+	limKey uint64          // guarded by mu; artifact.HashString of the rendered limits
 
 	staticHits atomic.Int64
 	vmHits     atomic.Int64
 	interpHits atomic.Int64
+	diskHits   atomic.Int64
+	bcDiskHits atomic.Int64
 }
 
-// ProfilerStats counts which engine answered successful profiles.
+// ProfilerStats counts which engine answered successful profiles, plus the
+// cache tiers underneath them: the persistent artifact store (profiles
+// answered without any engine running, bytecode restored without
+// re-lowering) and the in-memory lowered-program cache.
 type ProfilerStats struct {
 	StaticHits int64
 	VMHits     int64
 	InterpHits int64
+
+	// DiskHits are profiles answered from the artifact store — no engine
+	// ran at all. BytecodeDiskHits are lowered programs restored from disk
+	// (decode + re-verify instead of schedule + lower + verify).
+	DiskHits         int64
+	BytecodeDiskHits int64
+	// DiskWrites/DiskBytes/DiskCorrupt mirror the attached store's
+	// counters (zero when no store is attached).
+	DiskWrites  int64
+	DiskBytes   int64
+	DiskCorrupt int64
+
+	// Lower* are the in-memory vm.Cache counters: lowering results served
+	// (programs and cached declines), misses, and FIFO evictions.
+	LowerHits      int64
+	LowerDeclines  int64
+	LowerMisses    int64
+	LowerEvictions int64
 }
 
 // NewProfiler builds a Profiler from opts (zero-value fields take the
@@ -114,11 +142,26 @@ func NewProfiler(opts ProfileOptions) *Profiler {
 	}
 	return &Profiler{
 		cfg:    opts.Config,
+		cfgKey: artifact.HashString(fmt.Sprintf("%#v", opts.Config)),
 		cache:  vm.NewCache(0),
 		lim:    opts.Limits,
+		limKey: artifact.HashString(fmt.Sprintf("%#v", opts.Limits)),
 		engine: opts.Engine,
 		check:  opts.CrossCheck,
 	}
+}
+
+// SetArtifacts attaches (or with nil detaches) a persistent artifact store
+// as the read-through/write-behind tier beneath this profiler: profile
+// verdicts and lowered bytecode for previously seen (fingerprint, config,
+// limits, engine-policy) keys are answered from disk without running any
+// engine. The bit-identical contract is preserved by construction — every
+// stored value is a pure function of its key, errors are never persisted,
+// and the sanitizer (CrossCheck) mode bypasses the store entirely.
+func (p *Profiler) SetArtifacts(st *artifact.Store) {
+	p.mu.Lock()
+	p.store = st
+	p.mu.Unlock()
 }
 
 // Config returns the synthesis constraints the profiler was built with.
@@ -135,6 +178,7 @@ func (p *Profiler) Limits() interp.Limits {
 func (p *Profiler) SetLimits(lim interp.Limits) {
 	p.mu.Lock()
 	p.lim = lim
+	p.limKey = artifact.HashString(fmt.Sprintf("%#v", lim))
 	p.mu.Unlock()
 }
 
@@ -161,13 +205,30 @@ func (p *Profiler) SetCrossCheck(on bool) {
 	p.mu.Unlock()
 }
 
-// Stats snapshots the per-engine success counters.
+// Stats snapshots the per-engine success counters and the cache tiers.
 func (p *Profiler) Stats() ProfilerStats {
-	return ProfilerStats{
-		StaticHits: p.staticHits.Load(),
-		VMHits:     p.vmHits.Load(),
-		InterpHits: p.interpHits.Load(),
+	st := ProfilerStats{
+		StaticHits:       p.staticHits.Load(),
+		VMHits:           p.vmHits.Load(),
+		InterpHits:       p.interpHits.Load(),
+		DiskHits:         p.diskHits.Load(),
+		BytecodeDiskHits: p.bcDiskHits.Load(),
 	}
+	cs := p.cache.Stats()
+	st.LowerHits = cs.Hits
+	st.LowerDeclines = cs.Declines
+	st.LowerMisses = cs.Misses
+	st.LowerEvictions = cs.Evictions
+	p.mu.RLock()
+	store := p.store
+	p.mu.RUnlock()
+	if store != nil {
+		ds := store.Stats()
+		st.DiskWrites = ds.Writes
+		st.DiskBytes = ds.Bytes
+		st.DiskCorrupt = ds.Corrupt
+	}
+	return st
 }
 
 // Profile estimates the clock-cycle count of the circuit synthesized from
@@ -192,10 +253,49 @@ func (p *Profiler) profile(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*Repor
 	}
 	p.mu.RLock()
 	engine, lim, check := p.engine, p.lim, p.check
+	store, limKey := p.store, p.limKey
 	p.mu.RUnlock()
 	if check {
+		// The sanitizer's whole point is running the engines; disk results
+		// would defeat it. (The fault-injection draw above already happened,
+		// so draw streams are identical with and without a store.)
 		return p.crossProfile(m, fp, haveFP, lim)
 	}
+	var diskKey artifact.Key
+	if store != nil {
+		if !haveFP {
+			fp = m.Fingerprint()
+			haveFP = true
+		}
+		// The engine policy is part of the key: a pinned engine must see
+		// exactly the profiles (and the declines-as-errors) it would compute
+		// itself, so records written under one policy never answer another.
+		diskKey = artifact.Key{
+			FP:   fp,
+			Kind: artifact.KindProfile,
+			Aux:  artifact.MixAux(p.cfgKey, limKey, uint64(engine)),
+		}
+		if data, ok := store.Get(diskKey); ok {
+			if rep, ok := decodeReport(data); ok {
+				p.diskHits.Add(1)
+				return rep, nil
+			}
+			store.NoteCorrupt(diskKey)
+		}
+	}
+	rep, err := p.runEngine(m, fp, haveFP, engine, lim)
+	if err == nil && store != nil {
+		// Only successes persist: an error is not a pure function of the key
+		// in any way the store should vouch for (and declines must re-decline
+		// live so a policy change behaves identically warm and cold).
+		store.Put(diskKey, encodeReport(rep))
+	}
+	return rep, err
+}
+
+// runEngine dispatches one profile to the configured engine policy (the
+// live, non-disk path).
+func (p *Profiler) runEngine(m *ir.Module, fp ir.Fingerprint, haveFP bool, engine Engine, lim interp.Limits) (*Report, error) {
 	switch engine {
 	case EngineStatic:
 		rep, ok := StaticProfile(m, p.cfg, lim)
@@ -245,7 +345,12 @@ func (p *Profiler) profile(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*Repor
 
 // lowered returns m's cached VM program, lowering (and verifying) on miss.
 // Declines are cached too: a module outside the lowerable fragment declines
-// identically every time.
+// identically every time. With an artifact store attached, bytecode sits
+// between the in-memory cache and the lowerer: a disk hit is decoded and
+// re-verified (untrusted bytes never run unproven), an undecodable or
+// unverifiable record is dropped as corrupt, and fresh lowerings are
+// written behind. Declines are never persisted — they are cheap to
+// recompute and policy-sensitive.
 func (p *Profiler) lowered(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*vm.Program, error) {
 	if !haveFP {
 		fp = m.Fingerprint()
@@ -253,9 +358,62 @@ func (p *Profiler) lowered(m *ir.Module, fp ir.Fingerprint, haveFP bool) (*vm.Pr
 	if prog, err, ok := p.cache.Get(fp); ok {
 		return prog, err
 	}
+	p.mu.RLock()
+	store := p.store
+	p.mu.RUnlock()
+	var diskKey artifact.Key
+	if store != nil {
+		// Bytecode depends on the schedule config (folded block weights) but
+		// not on limits or engine policy.
+		diskKey = artifact.Key{FP: fp, Kind: artifact.KindBytecode, Aux: p.cfgKey}
+		if data, ok := store.Get(diskKey); ok {
+			if prog, derr := vm.Decode(data); derr == nil && vm.Verify(prog) == nil {
+				p.bcDiskHits.Add(1)
+				p.cache.Put(fp, prog, nil)
+				return prog, nil
+			}
+			store.NoteCorrupt(diskKey)
+		}
+	}
 	prog, err := lowerModule(m, p.cfg)
 	p.cache.Put(fp, prog, err)
+	if err == nil && store != nil {
+		store.Put(diskKey, vm.Encode(prog))
+	}
 	return prog, err
+}
+
+// The profile-record payload: four little-endian i64s (cycles, area,
+// steps, exit) plus the static flag and producing engine. 34 bytes, no
+// framing of its own (the store's record checksum covers it); any other
+// length is corruption.
+const reportRecLen = 34
+
+func encodeReport(rep *Report) []byte {
+	buf := make([]byte, reportRecLen)
+	binary.LittleEndian.PutUint64(buf[0:], uint64(rep.Cycles))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(rep.AreaLUT))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(rep.Steps))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(rep.Exit))
+	if rep.Static {
+		buf[32] = 1
+	}
+	buf[33] = byte(rep.Engine)
+	return buf
+}
+
+func decodeReport(data []byte) (*Report, bool) {
+	if len(data) != reportRecLen || data[32] > 1 || data[33] > byte(EngineInterp) {
+		return nil, false
+	}
+	return &Report{
+		Cycles:  int64(binary.LittleEndian.Uint64(data[0:])),
+		AreaLUT: int(binary.LittleEndian.Uint64(data[8:])),
+		Steps:   int(binary.LittleEndian.Uint64(data[16:])),
+		Exit:    int64(binary.LittleEndian.Uint64(data[24:])),
+		Static:  data[32] == 1,
+		Engine:  Engine(data[33]),
+	}, true
 }
 
 // lowerModule schedules m under cfg and folds the per-block FSM state

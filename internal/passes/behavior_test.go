@@ -41,12 +41,16 @@ func apply(t *testing.T, m *ir.Module, names ...string) {
 
 func cyclesOf(t *testing.T, m *ir.Module) int64 {
 	t.Helper()
-	rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+	rep, err := behaviorProfiler.Profile(m)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return rep.Cycles
 }
+
+// behaviorProfiler pins the interpreter so pass-behavior assertions measure
+// the reference engine, not whichever backend the auto cascade picks.
+var behaviorProfiler = hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
 
 // TestMem2RegPromotesScalars: after mem2reg, the -O0-shaped benchmarks keep
 // only their array allocas; scalar loads/stores disappear.

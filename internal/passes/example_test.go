@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"autophase/internal/hls"
-	"autophase/internal/interp"
 	"autophase/internal/passes"
 	"autophase/internal/progen"
 )
@@ -15,10 +14,11 @@ func Example() {
 	orderA := []int{38, 23, 33} // mem2reg, loop-rotate, loop-unroll
 	orderB := []int{33, 23, 38} // the reverse: unroll first finds no rotated loop
 
+	prof := hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
 	cycles := func(seq []int) int64 {
 		m := progen.Benchmark("matmul")
 		passes.Apply(m, seq)
-		rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+		rep, err := prof.Profile(m)
 		if err != nil {
 			panic(err)
 		}

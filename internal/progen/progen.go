@@ -5,7 +5,6 @@ import (
 	"math/rand"
 
 	"autophase/internal/hls"
-	"autophase/internal/interp"
 	"autophase/internal/ir"
 )
 
@@ -305,13 +304,18 @@ func (g *gen) genStmt(depth int) {
 // the execution filter (terminates within limits), mirroring the paper's
 // CSmith filtering step. It returns the module and the seed that produced
 // it.
+// filterProfiler is the execution filter's engine: pinned to the
+// interpreter so the accepted-seed sequence never depends on which backend
+// the auto cascade would pick.
+var filterProfiler = hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
+
 func GenerateFiltered(startSeed int64, cfg GenConfig) (*ir.Module, int64) {
 	for seed := startSeed; ; seed++ {
 		m := Generate(seed, cfg)
 		if err := m.Verify(); err != nil {
 			continue
 		}
-		if _, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits); err != nil {
+		if _, err := filterProfiler.Profile(m); err != nil {
 			continue
 		}
 		return m, seed

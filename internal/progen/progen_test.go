@@ -30,7 +30,7 @@ func TestBenchmarksVerifyAndRun(t *testing.T) {
 			if len(res.Trace) == 0 {
 				t.Fatalf("benchmark prints nothing; not observable")
 			}
-			rep, err := hls.Profile(m, hls.DefaultConfig, interp.DefaultLimits)
+			rep, err := hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp}).Profile(m)
 			if err != nil {
 				t.Fatalf("profile: %v", err)
 			}
@@ -135,8 +135,9 @@ func TestGeneratedProgramsSafety(t *testing.T) {
 // TestBenchmarkCycleBudgets: benchmarks must be heavy enough that phase
 // ordering matters, but light enough for fast iteration.
 func TestBenchmarkCycleBudgets(t *testing.T) {
+	prof := hls.NewProfiler(hls.ProfileOptions{Engine: hls.EngineInterp})
 	for _, name := range BenchmarkNames {
-		rep, err := hls.Profile(Benchmark(name), hls.DefaultConfig, interp.DefaultLimits)
+		rep, err := prof.Profile(Benchmark(name))
 		if err != nil {
 			t.Fatal(err)
 		}

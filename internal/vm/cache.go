@@ -21,6 +21,21 @@ type Cache struct {
 	cap   int
 	items map[ir.Fingerprint]cacheEntry
 	order []ir.Fingerprint // insertion order for FIFO eviction
+
+	hits      int64 // guarded by mu; Get served a lowered program
+	declines  int64 // guarded by mu; Get served a cached negative result
+	misses    int64 // guarded by mu; Get found nothing
+	evictions int64 // guarded by mu; entries dropped by FIFO capacity
+}
+
+// CacheStats is a snapshot of a Cache's counters. Hits and Declines are
+// both "answered from cache" — they are split because a decline hit means
+// the profiler went to the interpreter without even attempting to lower.
+type CacheStats struct {
+	Hits      int64
+	Declines  int64
+	Misses    int64
+	Evictions int64
 }
 
 type cacheEntry struct {
@@ -50,6 +65,14 @@ func (c *Cache) Get(fp ir.Fingerprint) (prog *Program, err error, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e, ok := c.items[fp]
+	switch {
+	case !ok:
+		c.misses++
+	case e.err != nil:
+		c.declines++
+	default:
+		c.hits++
+	}
 	return e.prog, e.err, ok
 }
 
@@ -66,6 +89,7 @@ func (c *Cache) Put(fp ir.Fingerprint, prog *Program, err error) {
 		oldest := c.order[0]
 		c.order = c.order[1:]
 		delete(c.items, oldest)
+		c.evictions++
 	}
 	c.items[fp] = cacheEntry{prog: prog, err: err}
 	c.order = append(c.order, fp)
@@ -76,4 +100,16 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.items)
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Declines:  c.declines,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
 }

@@ -1,0 +1,90 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"autophase/internal/ir"
+)
+
+// TestCacheStats: the four counters track hits, decline hits, misses and
+// FIFO evictions exactly.
+func TestCacheStats(t *testing.T) {
+	c := NewCache(2)
+	fp := func(i int) ir.Fingerprint { return ir.Fingerprint{Hi: uint64(i), Lo: 1} }
+
+	c.Get(fp(1)) // miss
+	c.Put(fp(1), &Program{}, nil)
+	c.Put(fp(2), nil, errors.New("declined"))
+	c.Get(fp(1))                  // hit
+	c.Get(fp(2))                  // decline hit
+	c.Put(fp(3), &Program{}, nil) // evicts fp(1)
+	c.Get(fp(1))                  // miss again
+
+	got := c.Stats()
+	want := CacheStats{Hits: 1, Declines: 1, Misses: 2, Evictions: 1}
+	if got != want {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestCacheConcurrentChurn drives parallel Get/Put traffic over a keyspace
+// several times the cache capacity, so FIFO eviction runs continuously
+// while readers race it. Run under -race this is the memory-safety proof;
+// the invariant checks prove eviction bookkeeping never desyncs from the
+// item map.
+func TestCacheConcurrentChurn(t *testing.T) {
+	const capacity = 32
+	const keys = capacity * 8
+	c := NewCache(capacity)
+	progs := make([]*Program, keys)
+	for i := range progs {
+		progs[i] = &Program{Area: i}
+	}
+	fp := func(i int) ir.Fingerprint { return ir.Fingerprint{Hi: uint64(i), Lo: ^uint64(i)} }
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := (i*7 + w*13) % keys
+				if w%2 == 0 {
+					if k%5 == 0 {
+						c.Put(fp(k), nil, errors.New("declined"))
+					} else {
+						c.Put(fp(k), progs[k], nil)
+					}
+				} else {
+					prog, err, ok := c.Get(fp(k))
+					if !ok {
+						continue
+					}
+					// An entry holds exactly one of prog/err, and a served
+					// program must be the one put under that key.
+					if (prog == nil) == (err == nil) {
+						panic(fmt.Sprintf("entry for %d holds prog=%v err=%v", k, prog != nil, err))
+					}
+					if prog != nil && prog.Area != k {
+						panic(fmt.Sprintf("key %d served program %d", k, prog.Area))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if n := c.Len(); n > capacity {
+		t.Fatalf("cache holds %d entries, capacity %d", n, capacity)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("churn past capacity produced no evictions")
+	}
+	if st.Hits == 0 && st.Declines == 0 {
+		t.Fatal("no reader ever hit")
+	}
+}

