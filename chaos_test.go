@@ -9,10 +9,17 @@
 package autophase_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,9 +27,22 @@ import (
 	"autophase/internal/core"
 	"autophase/internal/faults"
 	"autophase/internal/hls"
+	"autophase/internal/progen"
 	"autophase/internal/rl"
 	"autophase/internal/search"
+	"autophase/internal/serve"
 )
+
+// detProgramIR returns a benchmark's IR text, as a serve client would POST
+// it.
+func detProgramIR(t *testing.T, name string) string {
+	t.Helper()
+	m := progen.Benchmark(name)
+	if m == nil {
+		t.Fatalf("unknown benchmark %q", name)
+	}
+	return m.String()
+}
 
 // chaosSpec keeps every injection point active at a 1–5% rate.
 const chaosSpec = "pass-panic:0.03,interp-stall:0.02,profile-err:0.03,feature-panic:0.01,vm-panic:0.02"
@@ -199,6 +219,160 @@ func TestChaosDiskCorrupt(t *testing.T) {
 	}
 	if stats := st2.Stats(); stats.Corrupt == 0 {
 		t.Fatalf("corrupted store reloaded without counting any corruption: %+v", stats)
+	}
+}
+
+// TestChaosServe drives fault injection through a live multi-tenant
+// server: eight tenants hammer real HTTP submissions while every injection
+// point — including the serve layer's own panic point — fires at 1–5%
+// rates. The service must keep every contract it makes under fire: all
+// accepted jobs reach a terminal state, every rejection is an explicit
+// 429/503 with Retry-After, the engine's accounting invariant holds across
+// the whole tenant population, and contained serve panics never kill a
+// worker (the run finishes).
+func TestChaosServe(t *testing.T) {
+	if dir := os.Getenv("AUTOPHASE_CHAOS_DIR"); dir != "" {
+		core.SetCrashDir(dir)
+		defer core.SetCrashDir("")
+	}
+	cfg := serve.DefaultConfig()
+	cfg.Workers = chaosWorkers
+	cfg.TenantRate = 30
+	cfg.TenantBurst = 5
+	cfg.BreakerCooldown = 200 * time.Millisecond
+	srv, err := serve.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	irText := detProgramIR(t, "matmul")
+	spec, err := faults.ParseSpec(chaosSpec+",serve-panic:0.05", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(spec)
+	defer faults.Disable()
+
+	const tenantsN, jobsPerTenant = 8, 6
+	type outcome struct {
+		state   string
+		badShed bool
+		err     string
+	}
+	results := make(chan outcome, tenantsN*jobsPerTenant)
+	var wg sync.WaitGroup
+	for tn := 0; tn < tenantsN; tn++ {
+		wg.Add(1)
+		go func(tn int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; i < jobsPerTenant; i++ {
+				body, _ := json.Marshal(serve.SubmitRequest{
+					Tenant: fmt.Sprintf("t%d", tn), IR: irText, Budget: 8, SeqLen: 5,
+				})
+				var id string
+				for attempt := 0; ; attempt++ {
+					resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+					if err != nil {
+						results <- outcome{err: err.Error()}
+						return
+					}
+					payload, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusAccepted {
+						var ack serve.SubmitResponse
+						json.Unmarshal(payload, &ack)
+						id = ack.ID
+						break
+					}
+					bad := (resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable) ||
+						resp.Header.Get("Retry-After") == ""
+					if bad {
+						results <- outcome{badShed: true, err: fmt.Sprintf("status %d retry-after %q", resp.StatusCode, resp.Header.Get("Retry-After"))}
+						return
+					}
+					if attempt > 200 {
+						results <- outcome{err: "retry budget exhausted"}
+						return
+					}
+					time.Sleep(50 * time.Millisecond)
+				}
+				for {
+					resp, err := client.Get(ts.URL + "/v1/jobs/" + id + "?wait=2s")
+					if err != nil {
+						results <- outcome{err: err.Error()}
+						return
+					}
+					var st serve.JobStatus
+					err = json.NewDecoder(resp.Body).Decode(&st)
+					resp.Body.Close()
+					if err != nil {
+						results <- outcome{err: err.Error()}
+						return
+					}
+					if st.State != "queued" && st.State != "running" {
+						results <- outcome{state: st.State}
+						break
+					}
+				}
+			}
+		}(tn)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(120 * time.Second):
+		t.Fatal("serve chaos hung: watchdog fired after 120s")
+	}
+	faults.Disable()
+	close(results)
+
+	terminal := 0
+	for r := range results {
+		if r.err != "" || r.badShed {
+			t.Fatalf("client saw a broken contract: badShed=%v err=%s", r.badShed, r.err)
+		}
+		switch r.state {
+		case "done", "fault", "deadline":
+			terminal++
+		default:
+			t.Fatalf("job ended in non-terminal state %q", r.state)
+		}
+	}
+	if terminal != tenantsN*jobsPerTenant {
+		t.Fatalf("%d of %d jobs reached a terminal state", terminal, tenantsN*jobsPerTenant)
+	}
+
+	rep := srv.Stats()
+	var samples, successes, faultsN, flagged int64
+	for _, tr := range rep.Tenants {
+		samples += tr.Samples
+		successes += tr.Successes
+		faultsN += tr.Faults
+		flagged += tr.Flagged
+	}
+	if samples != successes+faultsN+flagged {
+		t.Fatalf("accounting invariant broken across tenants: samples=%d successes=%d faults=%d flagged=%d",
+			samples, successes, faultsN, flagged)
+	}
+	if len(rep.Tenants) != tenantsN {
+		t.Fatalf("server saw %d tenants, want %d", len(rep.Tenants), tenantsN)
+	}
+	// Injection at these rates must actually have reached the service.
+	faulted := int64(0)
+	for _, tr := range rep.Tenants {
+		faulted += tr.Faulted
+	}
+	if faultsN == 0 && faulted == 0 {
+		t.Fatalf("no faults observed — injection is not reaching the serve layer: %+v", rep)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 
 	"autophase/internal/analysis"
 	"autophase/internal/artifact"
+	"autophase/internal/cliutil"
 	"autophase/internal/core"
 	"autophase/internal/faults"
 	"autophase/internal/features"
@@ -63,6 +64,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "replay" {
 		runReplay(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		runServe(os.Args[2:])
 		return
 	}
 	prog := flag.String("program", "matmul", "benchmark name, rand:<seed>, or file:<path.ir>")
@@ -93,6 +98,22 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (profiles, features, lowered bytecode survive restarts)")
 	cacheBudget := flag.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default); whole segments evict oldest-first")
 	flag.Parse()
+
+	// Reject meaningless knob values with a usage error (exit 2) before any
+	// work starts. Historically -workers silently clamped to 1 and a
+	// negative -deadline was silently ignored; both were almost certainly
+	// typos the user wanted to hear about.
+	if err := cliutil.FirstErr(
+		cliutil.MinInt("budget", *budget, 1),
+		cliutil.MinInt("len", *seqLen, 1),
+		cliutil.MinInt("workers", *workers, 1),
+		cliutil.MinInt("train", *trainN, 0),
+		cliutil.NonNegDuration("deadline", *deadline),
+		cliutil.MinInt64("cache-budget", *cacheBudget, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "autophase:", err)
+		os.Exit(2)
+	}
 
 	engine, err := hls.ParseEngine(*engineFlag)
 	if err != nil {
@@ -399,6 +420,16 @@ func runCollect(args []string) {
 	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory")
 	cacheBudget := fs.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default)")
 	fs.Parse(args)
+
+	if err := cliutil.FirstErr(
+		cliutil.MinInt("episodes", *episodes, 1),
+		cliutil.MinInt("len", *epLen, 1),
+		cliutil.MinInt("workers", *workers, 1),
+		cliutil.MinInt64("cache-budget", *cacheBudget, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "autophase collect:", err)
+		os.Exit(2)
+	}
 
 	closeArtifacts, err := openArtifacts(*cacheDir, *cacheBudget)
 	if err != nil {

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"autophase/internal/cliutil"
+	"autophase/internal/faults"
+	"autophase/internal/serve"
+)
+
+// runServe is the `autophase serve` subcommand: the multi-tenant
+// phase-ordering service. It listens until SIGINT/SIGTERM, then degrades
+// gracefully — admission turns into explicit 503s, queued work drains
+// inside -drain, and whatever does not finish is checkpointed to
+// -checkpoint so the next start resumes it.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent search runners")
+	queueCap := fs.Int("queue", 1024, "global queued-job bound; past it submissions shed with 503")
+	tenantRate := fs.Float64("tenant-rate", 50, "per-tenant submission rate (jobs/second)")
+	tenantBurst := fs.Float64("tenant-burst", 100, "per-tenant submission burst")
+	tenantJobs := fs.Int("tenant-jobs", 64, "per-tenant queued+running quota (0 = unlimited)")
+	defBudget := fs.Int("default-budget", 64, "sample budget for jobs that do not name one")
+	maxBudget := fs.Int("max-budget", 4096, "largest accepted per-job sample budget")
+	maxLen := fs.Int("max-len", 45, "largest accepted pass-sequence length")
+	defDeadline := fs.Duration("default-deadline", 0, "wall budget for jobs that do not name one (0 = unbounded)")
+	maxDeadline := fs.Duration("max-deadline", 10*time.Minute, "largest accepted per-job wall budget")
+	brkFaults := fs.Int("breaker-faults", 3, "consecutive faulted jobs that trip a tenant's circuit breaker (0 disables)")
+	brkCooldown := fs.Duration("breaker-cooldown", 5*time.Second, "open-breaker cooldown before a half-open probe")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	checkpoint := fs.String("checkpoint", "", "unfinished-job checkpoint file; restart with the same path to resume")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory, shared across all tenants")
+	cacheBudget := fs.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default)")
+	faultSpec := fs.String("faults", "", `chaos-mode fault-injection spec, e.g. "serve-panic:0.02,pass-panic:0.01"`)
+	faultSeed := fs.Int64("faults-seed", 1, "deterministic seed for the -faults injector")
+	fs.Parse(args)
+
+	if err := cliutil.FirstErr(
+		cliutil.MinInt("workers", *workers, 1),
+		cliutil.MinInt("queue", *queueCap, 1),
+		cliutil.PosFloat("tenant-rate", *tenantRate),
+		cliutil.PosFloat("tenant-burst", *tenantBurst),
+		cliutil.MinInt("tenant-jobs", *tenantJobs, 0),
+		cliutil.MinInt("default-budget", *defBudget, 1),
+		cliutil.MinInt("max-budget", *maxBudget, 1),
+		cliutil.MinInt("max-len", *maxLen, 1),
+		cliutil.NonNegDuration("default-deadline", *defDeadline),
+		cliutil.NonNegDuration("max-deadline", *maxDeadline),
+		cliutil.MinInt("breaker-faults", *brkFaults, 0),
+		cliutil.PosDuration("breaker-cooldown", *brkCooldown),
+		cliutil.PosDuration("drain", *drain),
+		cliutil.MinInt64("cache-budget", *cacheBudget, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "autophase serve:", err)
+		os.Exit(2)
+	}
+
+	if *faultSpec != "" {
+		spec, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(spec)
+		defer faults.Disable()
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Workers = *workers
+	cfg.QueueCap = *queueCap
+	cfg.TenantRate = *tenantRate
+	cfg.TenantBurst = *tenantBurst
+	cfg.TenantJobs = *tenantJobs
+	cfg.DefaultBudget = *defBudget
+	cfg.MaxBudget = *maxBudget
+	cfg.MaxSeqLen = *maxLen
+	cfg.DefaultDeadline = *defDeadline
+	cfg.MaxDeadline = *maxDeadline
+	cfg.BreakerFaults = *brkFaults
+	cfg.BreakerCooldown = *brkCooldown
+	cfg.DrainTimeout = *drain
+	cfg.CheckpointPath = *checkpoint
+	cfg.ArtifactDir = *cacheDir
+	cfg.ArtifactBudget = *cacheBudget
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	fmt.Printf("autophase serve: listening on %s (%d workers)\n", *addr, *workers)
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("autophase serve: %s, draining (up to %s)...\n", sig, *drain)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Shed first, drain second, checkpoint last. The HTTP listener stays up
+	// through the drain so clients can keep polling and see explicit 503s on
+	// new submissions rather than connection refusals.
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "autophase serve: checkpoint:", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "autophase serve:", err)
+	}
+	st := srv.Stats()
+	fmt.Printf("autophase serve: stopped — accepted=%d shed429=%d shed503=%d drained=%d checkpointed=%d\n",
+		st.Accepted, st.Shed429, st.Shed503, st.Drained, st.Checkpointed)
+}

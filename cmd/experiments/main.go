@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"autophase/internal/artifact"
+	"autophase/internal/cliutil"
 	"autophase/internal/core"
 	"autophase/internal/experiments"
 	"autophase/internal/faults"
@@ -38,6 +39,17 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent artifact cache directory (profiles, features, lowered bytecode survive restarts)")
 	cacheBudget := flag.Int64("cache-budget", 0, "artifact cache size budget in bytes (0 = 512 MiB default)")
 	flag.Parse()
+
+	// Reject meaningless knob values up front with a usage error (exit 2)
+	// instead of silently clamping; -workers 0 stays legal as the "scale
+	// decides" sentinel.
+	if err := cliutil.FirstErr(
+		cliutil.MinInt("workers", *workers, 0),
+		cliutil.MinInt64("cache-budget", *cacheBudget, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
 
 	engine, err := hls.ParseEngine(*engineFlag)
 	if err != nil {

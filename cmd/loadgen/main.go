@@ -1,0 +1,487 @@
+// Command loadgen is the serve layer's flagship benchmark: it floods an
+// autophase service with concurrent phase-ordering searches across many
+// synthetic tenants and reports latency, throughput and shed behaviour.
+//
+// Usage:
+//
+//	loadgen -jobs 1000 -tenants 8 -conc 64              # in-process server
+//	loadgen -addr 127.0.0.1:8080 -jobs 500              # against a live server
+//	loadgen -jobs 1000 -faults "serve-panic:0.02,pass-panic:0.01" -check
+//	loadgen -jobs 400 -poison 2 -check                  # cross-tenant isolation proof
+//	loadgen -report BENCH_loadgen.json                  # machine-readable report
+//
+// The client behaves like a well-raised tenant: submissions that are shed
+// with 429/503 honour the server's Retry-After (with jitter) and retry up
+// to -retries times. -poison adds tenants that submit organically
+// pathological modules (baseline profiling blows the interpreter's step
+// limit in every engine); their jobs fault, their circuit breakers trip,
+// and -check asserts none of that leaks into a healthy tenant's results.
+// -check also asserts the engine's accounting invariant — samples ==
+// successes + faults + flagged — across the whole multi-tenant run.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"autophase/internal/cliutil"
+	"autophase/internal/faults"
+	"autophase/internal/progen"
+	"autophase/internal/serve"
+)
+
+// poisonIR is the poison tenants' module: a loop whose statically computed
+// step count exceeds interp.DefaultLimits.MaxSteps, so the static
+// estimator declines it and the VM/interpreter blow the limit — every
+// engine faults organically, no injection needed.
+const poisonIR = `define i32 @main() {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %inc, %loop ]
+  %inc = add i32 %i, 1
+  %c = icmp slt i32 %inc, 100000000
+  br i1 %c, label %loop, label %exit
+exit:
+  ret i32 %i
+}
+`
+
+type jobSpec struct {
+	tenant string
+	ir     string
+	poison bool
+}
+
+type jobResult struct {
+	spec    jobSpec
+	id      string
+	state   string
+	retries int
+	gaveUp  bool // retry budget exhausted while shed (expected for poisoned tenants)
+	failed  bool // submit failed with a non-shed error
+	badShed bool // a rejection arrived without explicit 429/503 + Retry-After
+	latency time.Duration
+}
+
+func main() {
+	addr := flag.String("addr", "", "target server address; empty starts an in-process server")
+	jobs := flag.Int("jobs", 1000, "healthy-tenant jobs to submit")
+	tenants := flag.Int("tenants", 8, "healthy synthetic tenants")
+	poison := flag.Int("poison", 0, "poison tenants submitting organically faulting modules")
+	poisonJobs := flag.Int("poison-jobs", 16, "jobs each poison tenant submits")
+	conc := flag.Int("conc", 64, "concurrent client submitters")
+	budget := flag.Int("budget", 12, "samples per job")
+	seqLen := flag.Int("len", 6, "pass-sequence length per job")
+	deadline := flag.Duration("deadline", 0, "per-job wall budget sent with each submission (0 = none)")
+	modules := flag.Int("modules", 8, "distinct synthetic modules shared round-robin by healthy jobs")
+	seed := flag.Int64("seed", 1, "synthetic module generator seed")
+	retries := flag.Int("retries", 12, "max resubmissions after a shed")
+	faultSpec := flag.String("faults", "", `chaos mode: fault-injection spec for the in-process server, e.g. "serve-panic:0.02,pass-panic:0.01"`)
+	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for -faults")
+	report := flag.String("report", "", "write the JSON report here (BENCH_loadgen.json)")
+	check := flag.Bool("check", false, "exit 1 unless accounting, shed and isolation invariants all hold")
+	// In-process server tuning; ignored with -addr.
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "in-process server worker pool")
+	queueCap := flag.Int("queue", 4096, "in-process server queue bound")
+	tenantRate := flag.Float64("tenant-rate", 200, "in-process per-tenant submission rate")
+	tenantBurst := flag.Float64("tenant-burst", 50, "in-process per-tenant burst")
+	tenantJobs := flag.Int("tenant-jobs", 256, "in-process per-tenant concurrency quota")
+	cacheDir := flag.String("cache-dir", "", "in-process server artifact cache directory")
+	flag.Parse()
+
+	if err := cliutil.FirstErr(
+		cliutil.MinInt("jobs", *jobs, 1),
+		cliutil.MinInt("tenants", *tenants, 1),
+		cliutil.MinInt("poison", *poison, 0),
+		cliutil.MinInt("poison-jobs", *poisonJobs, 1),
+		cliutil.MinInt("conc", *conc, 1),
+		cliutil.MinInt("budget", *budget, 1),
+		cliutil.MinInt("len", *seqLen, 1),
+		cliutil.NonNegDuration("deadline", *deadline),
+		cliutil.MinInt("modules", *modules, 1),
+		cliutil.MinInt("retries", *retries, 0),
+		cliutil.MinInt("workers", *workers, 1),
+		cliutil.MinInt("queue", *queueCap, 1),
+		cliutil.PosFloat("tenant-rate", *tenantRate),
+		cliutil.PosFloat("tenant-burst", *tenantBurst),
+		cliutil.MinInt("tenant-jobs", *tenantJobs, 0),
+	); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+
+	base := "http://" + *addr
+	var shutdown func()
+	if *addr == "" {
+		cfg := serve.DefaultConfig()
+		cfg.Workers = *workers
+		cfg.QueueCap = *queueCap
+		cfg.TenantRate = *tenantRate
+		cfg.TenantBurst = *tenantBurst
+		cfg.TenantJobs = *tenantJobs
+		cfg.MaxBudget = *budget
+		cfg.ArtifactDir = *cacheDir
+		srv, err := serve.New(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv.Start()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go hs.Serve(ln)
+		base = "http://" + ln.Addr().String()
+		shutdown = func() {
+			srv.Shutdown(neverDone{})
+			hs.Close()
+			srv.Close()
+		}
+		fmt.Printf("loadgen: in-process server on %s (%d workers)\n", base, *workers)
+	}
+	if *faultSpec != "" {
+		if *addr != "" {
+			fatal(fmt.Errorf("-faults only works with the in-process server; pass -faults to the remote `autophase serve` instead"))
+		}
+		spec, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fatal(err)
+		}
+		faults.Enable(spec)
+		defer faults.Disable()
+	}
+
+	// Build the synthetic module pool once; healthy jobs share it
+	// round-robin so the server's shared artifact store gets to prove its
+	// cross-tenant warm hits.
+	pool := make([]string, *modules)
+	s := *seed
+	for i := range pool {
+		m, used := progen.GenerateFiltered(s, progen.DefaultGen)
+		s = used + 1
+		pool[i] = m.String()
+	}
+
+	specs := make([]jobSpec, 0, *jobs+*poison**poisonJobs)
+	for i := 0; i < *jobs; i++ {
+		specs = append(specs, jobSpec{
+			tenant: fmt.Sprintf("t%02d", i%*tenants),
+			ir:     pool[i%len(pool)],
+		})
+	}
+	for p := 0; p < *poison; p++ {
+		for i := 0; i < *poisonJobs; i++ {
+			specs = append(specs, jobSpec{tenant: fmt.Sprintf("poison%d", p), ir: poisonIR, poison: true})
+		}
+	}
+	// Interleave tenants so arrival order is adversarial (every tenant
+	// floods at once), then hammer the server.
+	rand.New(rand.NewSource(*seed)).Shuffle(len(specs), func(i, j int) { specs[i], specs[j] = specs[j], specs[i] })
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	results := make([]jobResult, len(specs))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)))
+			for i := range work {
+				results[i] = runOne(client, base, specs[i], *budget, *seqLen, *deadline, *retries, rng)
+			}
+		}(w)
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	wall := time.Since(start)
+
+	stats, statsErr := fetchStats(client, base)
+	if shutdown != nil {
+		shutdown()
+	}
+	if statsErr != nil {
+		fatal(fmt.Errorf("fetching /v1/stats: %w", statsErr))
+	}
+
+	rep := summarize(results, stats, wall, *faultSpec != "")
+	printReport(&rep)
+	if *report != "" {
+		data, _ := json.MarshalIndent(&rep, "", "  ")
+		if err := os.WriteFile(*report, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("loadgen: wrote", *report)
+	}
+	if *check && !rep.ChecksOK {
+		fmt.Fprintln(os.Stderr, "loadgen: CHECK FAILED:", rep.CheckFailures)
+		os.Exit(1)
+	}
+}
+
+// neverDone satisfies serve.Shutdown's context parameter for a drain that
+// only the drain timeout bounds.
+type neverDone struct{}
+
+func (neverDone) Done() <-chan struct{} { return nil }
+
+// runOne submits one job (retrying sheds with Retry-After-honouring
+// backoff) and polls it to a terminal state.
+func runOne(client *http.Client, base string, spec jobSpec, budget, seqLen int, deadline time.Duration, retries int, rng *rand.Rand) jobResult {
+	res := jobResult{spec: spec}
+	body, _ := json.Marshal(serve.SubmitRequest{
+		Tenant: spec.tenant, IR: spec.ir, Algo: "random",
+		Budget: budget, SeqLen: seqLen, DeadlineMS: deadline.Milliseconds(),
+	})
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			res.failed = true
+			return res
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			var ack serve.SubmitResponse
+			if err := json.Unmarshal(payload, &ack); err != nil {
+				res.failed = true
+				return res
+			}
+			res.id = ack.ID
+			break
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			// Any rejection that is not an explicit shed is a contract
+			// violation (or a client bug) — surface it either way.
+			res.failed = true
+			res.badShed = true
+			return res
+		}
+		wait, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+		if err != nil || wait < 1 {
+			res.badShed = true
+			wait = 1
+		}
+		if attempt >= retries {
+			res.gaveUp = true
+			return res
+		}
+		res.retries++
+		// Honour Retry-After, jittered ±25% so retry storms decorrelate;
+		// capped so a pathological header cannot wedge the benchmark.
+		sleep := time.Duration(wait) * time.Second
+		if sleep > 5*time.Second {
+			sleep = 5 * time.Second
+		}
+		sleep = sleep/2 + time.Duration(rng.Int63n(int64(sleep)))/2 + time.Duration(rng.Int63n(int64(250*time.Millisecond)))
+		time.Sleep(sleep)
+	}
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + res.id + "?wait=5s")
+		if err != nil {
+			res.failed = true
+			return res
+		}
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var st serve.JobStatus
+		if err := json.Unmarshal(payload, &st); err != nil {
+			res.failed = true
+			return res
+		}
+		if st.State != "queued" && st.State != "running" {
+			res.state = st.State
+			res.latency = time.Since(t0)
+			return res
+		}
+	}
+}
+
+func fetchStats(client *http.Client, base string) (*serve.StatsReport, error) {
+	resp, err := client.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var rep serve.StatsReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Report is the benchmark's machine-readable output (BENCH_loadgen.json).
+type Report struct {
+	Jobs          int     `json:"jobs"`
+	Tenants       int     `json:"tenants"`
+	PoisonTenants int     `json:"poison_tenants"`
+	Accepted      int     `json:"accepted"`
+	Done          int     `json:"done"`
+	Faulted       int     `json:"faulted"`
+	Deadlined     int     `json:"deadlined"`
+	GaveUp        int     `json:"gave_up"`
+	ClientErrors  int     `json:"client_errors"`
+	Retries       int     `json:"retries"`
+	Shed429       int64   `json:"shed_429"`
+	Shed503       int64   `json:"shed_503"`
+	ShedRate      float64 `json:"shed_rate"`
+	WallS         float64 `json:"wall_s"`
+	Throughput    float64 `json:"throughput_jobs_per_s"`
+	P50MS         float64 `json:"latency_p50_ms"`
+	P90MS         float64 `json:"latency_p90_ms"`
+	P99MS         float64 `json:"latency_p99_ms"`
+	Samples       int64   `json:"samples"`
+	Successes     int64   `json:"successes"`
+	Faults        int64   `json:"faults"`
+	Flagged       int64   `json:"flagged"`
+	InvariantOK   bool    `json:"invariant_ok"`
+	IsolationOK   bool    `json:"isolation_ok"`
+	ShedsExplicit bool    `json:"sheds_explicit"`
+	AllTerminal   bool    `json:"all_terminal"`
+	ChecksOK      bool    `json:"checks_ok"`
+	CheckFailures string  `json:"check_failures,omitempty"`
+	Aggregate     string  `json:"aggregate"`
+}
+
+func summarize(results []jobResult, stats *serve.StatsReport, wall time.Duration, injecting bool) Report {
+	rep := Report{WallS: wall.Seconds(), Aggregate: stats.Aggregate}
+	tenants := map[string]bool{}
+	poisonTenants := map[string]bool{}
+	var lats []time.Duration
+	healthyBroken := 0
+	rep.ShedsExplicit = true
+	rep.AllTerminal = true
+	for _, r := range results {
+		if r.spec.poison {
+			poisonTenants[r.spec.tenant] = true
+		} else {
+			rep.Jobs++
+			tenants[r.spec.tenant] = true
+		}
+		if r.badShed {
+			rep.ShedsExplicit = false
+		}
+		rep.Retries += r.retries
+		switch {
+		case r.failed:
+			rep.ClientErrors++
+		case r.gaveUp:
+			rep.GaveUp++
+		default:
+			rep.Accepted++
+			lats = append(lats, r.latency)
+			switch r.state {
+			case "done":
+				rep.Done++
+			case "fault":
+				rep.Faulted++
+				if !r.spec.poison {
+					healthyBroken++
+				}
+			case "deadline":
+				rep.Deadlined++
+				if !r.spec.poison {
+					healthyBroken++
+				}
+			case "checkpointed":
+				// Terminal but unfinished: only a draining server does this.
+			default:
+				rep.AllTerminal = false
+			}
+		}
+	}
+	rep.Tenants = len(tenants)
+	rep.PoisonTenants = len(poisonTenants)
+	rep.Shed429 = stats.Shed429
+	rep.Shed503 = stats.Shed503
+	if att := float64(stats.Accepted + stats.Shed429 + stats.Shed503); att > 0 {
+		rep.ShedRate = float64(stats.Shed429+stats.Shed503) / att
+	}
+	if rep.WallS > 0 {
+		rep.Throughput = float64(rep.Accepted) / rep.WallS
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rep.P50MS = percentileMS(lats, 0.50)
+	rep.P90MS = percentileMS(lats, 0.90)
+	rep.P99MS = percentileMS(lats, 0.99)
+	for _, t := range stats.Tenants {
+		rep.Samples += t.Samples
+		rep.Successes += t.Successes
+		rep.Faults += t.Faults
+		rep.Flagged += t.Flagged
+	}
+	rep.InvariantOK = rep.Samples == rep.Successes+rep.Faults+rep.Flagged
+	// Isolation: with no global injection, a healthy tenant's jobs must
+	// never fault or miss deadlines because a poison tenant is melting down
+	// next door. Under global injection every tenant is being shot at, so
+	// only the accounting and explicit-shed contracts are assertable.
+	rep.IsolationOK = injecting || healthyBroken == 0
+	rep.ChecksOK = true
+	fail := func(msg string) {
+		rep.ChecksOK = false
+		if rep.CheckFailures != "" {
+			rep.CheckFailures += "; "
+		}
+		rep.CheckFailures += msg
+	}
+	if !rep.InvariantOK {
+		fail(fmt.Sprintf("samples=%d != successes+faults+flagged=%d", rep.Samples, rep.Successes+rep.Faults+rep.Flagged))
+	}
+	if !rep.IsolationOK {
+		fail(fmt.Sprintf("%d healthy-tenant jobs failed with no injection enabled", healthyBroken))
+	}
+	if !rep.ShedsExplicit {
+		fail("a rejection arrived without explicit 429/503 + Retry-After")
+	}
+	if !rep.AllTerminal {
+		fail("an accepted job never reached a terminal state")
+	}
+	if rep.ClientErrors > 0 {
+		fail(fmt.Sprintf("%d client transport/protocol errors", rep.ClientErrors))
+	}
+	return rep
+}
+
+func percentileMS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i]) / float64(time.Millisecond)
+}
+
+func printReport(r *Report) {
+	fmt.Printf("loadgen: %d jobs / %d tenants (+%d poison), %d accepted, %d done, %d fault, %d deadline, %d gave up\n",
+		r.Jobs, r.Tenants, r.PoisonTenants, r.Accepted, r.Done, r.Faulted, r.Deadlined, r.GaveUp)
+	fmt.Printf("loadgen: wall %.2fs  throughput %.1f jobs/s  latency p50=%.0fms p90=%.0fms p99=%.0fms\n",
+		r.WallS, r.Throughput, r.P50MS, r.P90MS, r.P99MS)
+	fmt.Printf("loadgen: shed 429=%d 503=%d (rate %.1f%%)  client retries=%d\n",
+		r.Shed429, r.Shed503, r.ShedRate*100, r.Retries)
+	fmt.Printf("loadgen: engine samples=%d successes=%d faults=%d flagged=%d  invariant=%v isolation=%v explicit-sheds=%v\n",
+		r.Samples, r.Successes, r.Faults, r.Flagged, r.InvariantOK, r.IsolationOK, r.ShedsExplicit)
+	fmt.Printf("loadgen: server aggregate: %s\n", r.Aggregate)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,137 @@
+package artifact
+
+import (
+	"bytes"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestEvictionDuringInFlightReads drives the store the way `autophase
+// serve` does: several tenants writing disjoint key ranges while readers
+// hammer the same ranges, with a budget small enough that whole-segment
+// eviction runs continuously under the reads. A Get may miss (the segment
+// was evicted) but a hit must always return the exact payload for that
+// key — eviction must never expose a reader to another record's bytes or
+// a partially reclaimed buffer.
+func TestEvictionDuringInFlightReads(t *testing.T) {
+	const (
+		tenants  = 4
+		perKeys  = 64
+		recBytes = 1024
+		budget   = 64 << 10 // ~1/4 of the total written, so eviction is constant
+	)
+	s := mustOpen(t, t.TempDir(), budget)
+	defer s.Close()
+
+	tkey := func(tenant, i int) Key { return key(tenant*1000 + i) }
+	tpay := func(tenant, i int) []byte { return payload(tenant*1000+i, recBytes) }
+
+	var writersDone atomic.Bool
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+
+	for w := 0; w < tenants; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perKeys; i++ {
+				s.Put(tkey(w, i), tpay(w, i))
+				if i%16 == 15 {
+					s.Flush() // commit a segment, forcing evictLocked under the readers
+				}
+			}
+		}(w)
+	}
+
+	var readers sync.WaitGroup
+	for r := 0; r < tenants; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			for !writersDone.Load() {
+				for i := 0; i < perKeys; i++ {
+					got, ok := s.Get(tkey(r, i))
+					if ok && !bytes.Equal(got, tpay(r, i)) {
+						wrong.Add(1)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	writersDone.Store(true)
+	readers.Wait()
+
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d reads returned wrong bytes during eviction", n)
+	}
+	st := s.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("budget %d never evicted under %d bytes of writes: %+v",
+			int64(budget), tenants*perKeys*recBytes, st)
+	}
+	if st.Writes != tenants*perKeys {
+		t.Fatalf("want %d writes, got %d", tenants*perKeys, st.Writes)
+	}
+}
+
+// TestCorruptAsMissRaceSameFingerprint races several tenants on one
+// fingerprint: everyone puts the same record (records are pure functions
+// of their key), readers verify every hit byte-for-byte, and a saboteur
+// repeatedly reports the record corrupt. Corruption may only ever demote
+// a hit to a miss — never serve damaged bytes — and a rewrite after the
+// dust settles must make the key readable again, including across a
+// restart.
+func TestCorruptAsMissRaceSameFingerprint(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, 0)
+
+	k := key(7)
+	canon := payload(7, 512)
+
+	var wrong atomic.Int64
+	var wg sync.WaitGroup
+	for tenant := 0; tenant < 4; tenant++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Put(k, canon)
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, canon) {
+					wrong.Add(1)
+					return
+				}
+				if i%50 == 49 {
+					s.NoteCorrupt(k) // drop it so the next Put re-lands
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n := wrong.Load(); n != 0 {
+		t.Fatalf("%d hits returned wrong bytes while racing NoteCorrupt", n)
+	}
+	st := s.Stats()
+	if st.Corrupt == 0 {
+		t.Fatal("saboteur's NoteCorrupt calls were not counted")
+	}
+
+	// The producer's rewrite wins: after the races, one more Put makes the
+	// key durable again.
+	s.Put(k, canon)
+	if got, ok := s.Get(k); !ok || !bytes.Equal(got, canon) {
+		t.Fatal("rewrite after corruption did not restore the record")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, 0)
+	defer s2.Close()
+	if got, ok := s2.Get(k); !ok || !bytes.Equal(got, canon) {
+		t.Fatal("rewritten record lost across restart")
+	}
+}

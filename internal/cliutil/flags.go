@@ -1,0 +1,63 @@
+// Package cliutil holds the flag-validation helpers shared by the
+// autophase, experiments and loadgen CLIs, so every binary rejects
+// meaningless values (negative worker counts, negative deadlines) with the
+// same clear usage error instead of silently clamping or ignoring them.
+package cliutil
+
+import (
+	"fmt"
+	"time"
+)
+
+// MinInt rejects v < min with a usage-shaped error naming the flag.
+func MinInt(flag string, v, min int) error {
+	if v < min {
+		return fmt.Errorf("-%s must be >= %d (got %d)", flag, min, v)
+	}
+	return nil
+}
+
+// MinInt64 is MinInt for 64-bit flags (byte budgets).
+func MinInt64(flag string, v, min int64) error {
+	if v < min {
+		return fmt.Errorf("-%s must be >= %d (got %d)", flag, min, v)
+	}
+	return nil
+}
+
+// NonNegDuration rejects negative durations; zero stays legal as the
+// conventional "disabled" value (-deadline 0 = unbounded).
+func NonNegDuration(flag string, v time.Duration) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must not be negative (got %s; 0 disables it)", flag, v)
+	}
+	return nil
+}
+
+// PosDuration rejects durations <= 0 for flags where "disabled" is
+// meaningless (drain timeouts, poll intervals).
+func PosDuration(flag string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive (got %s)", flag, v)
+	}
+	return nil
+}
+
+// PosFloat rejects rates <= 0.
+func PosFloat(flag string, v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive (got %g)", flag, v)
+	}
+	return nil
+}
+
+// FirstErr returns the first non-nil error, so a CLI can validate every
+// flag in one expression and report the earliest failure.
+func FirstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

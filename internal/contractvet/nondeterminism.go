@@ -14,6 +14,7 @@ var detPkgSuffixes = []string{
 	"internal/core",
 	"internal/rl",
 	"internal/vm",
+	"internal/serve",
 }
 
 // NondeterminismAnalyzer flags wall-clock reads (time.Now/Since), draws

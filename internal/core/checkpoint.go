@@ -1,0 +1,42 @@
+package core
+
+import "sort"
+
+// QuarantineRecords returns a copy of every fault remembered by the
+// quarantine tier, sorted by sequence (shortest first, then
+// lexicographically) so the snapshot is a function of the quarantine *set*,
+// not of map iteration order. The serve layer persists these into job
+// checkpoints so a restarted search does not re-run sequences already known
+// to panic or stall.
+func (p *Program) QuarantineRecords() []*EvalFault {
+	p.quarMu.Lock()
+	recs := make([]*EvalFault, 0, len(p.quar))
+	for _, f := range p.quar {
+		recs = append(recs, f)
+	}
+	p.quarMu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return lessSeq(recs[i].Seq, recs[j].Seq) })
+	return recs
+}
+
+// RestoreQuarantine seeds the quarantine tier from checkpointed records.
+// Only quarantinable kinds (panic, deadline) are accepted; anything else in
+// a tampered checkpoint is dropped rather than poisoning the profile-error
+// re-charge semantics. Restored entries behave exactly like organically
+// quarantined ones: every query is re-charged one sample and one fault, and
+// SetLimits clears the deadline-class entries.
+func (p *Program) RestoreQuarantine(recs []*EvalFault) {
+	p.quarMu.Lock()
+	defer p.quarMu.Unlock()
+	for _, f := range recs {
+		if f == nil || !f.Kind.quarantinable() {
+			continue
+		}
+		if p.quar == nil {
+			p.quar = make(map[string]*EvalFault)
+		}
+		cp := *f
+		cp.Seq = append([]int(nil), f.Seq...)
+		p.quar[seqKey(cp.Seq)] = &cp
+	}
+}

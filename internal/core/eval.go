@@ -144,6 +144,55 @@ type EvalStats struct {
 	Flagged     int64 // samples rejected by the pass sanitizer
 	Retries     int64 // bounded deadline-class retries attempted
 	Quarantined int64 // sequences currently held in the quarantine tier
+	// Serve-layer counters: zero outside `autophase serve`, where the server
+	// aggregates per-job EvalStats across tenants and folds its admission
+	// and drain accounting in. All of them follow the nonzero-only printing
+	// convention, so engine output away from the service is unchanged.
+	Tenants      int64 // distinct tenants observed by the server
+	Shed         int64 // requests rejected with an explicit 429/503
+	Drained      int64 // jobs completed during graceful shutdown's drain window
+	Checkpointed int64 // jobs persisted (not lost) by graceful shutdown
+	Resumed      int64 // checkpointed jobs re-admitted after a restart
+}
+
+// Add accumulates o's engine counters into s (the serve layer folds many
+// per-job stats into one aggregate). BatchWall sums; the per-shard hit
+// vector sums element-wise.
+func (s *EvalStats) Add(o EvalStats) {
+	s.Samples += o.Samples
+	s.Compiles += o.Compiles
+	s.CacheHits += o.CacheHits
+	s.Merges += o.Merges
+	s.StaticHits += o.StaticHits
+	s.VMHits += o.VMHits
+	s.InterpHits += o.InterpHits
+	s.FPHits += o.FPHits
+	s.NoopIR += o.NoopIR
+	s.DiskHits += o.DiskHits
+	s.BytecodeDiskHits += o.BytecodeDiskHits
+	s.DiskWrites += o.DiskWrites
+	s.DiskBytes += o.DiskBytes
+	s.DiskCorrupt += o.DiskCorrupt
+	s.LowerHits += o.LowerHits
+	s.LowerDeclines += o.LowerDeclines
+	s.LowerMisses += o.LowerMisses
+	s.LowerEvictions += o.LowerEvictions
+	s.FPMismatches += o.FPMismatches
+	s.Batches += o.Batches
+	s.BatchWall += o.BatchWall
+	s.Successes += o.Successes
+	s.Faults += o.Faults
+	s.Flagged += o.Flagged
+	s.Retries += o.Retries
+	s.Quarantined += o.Quarantined
+	s.Tenants += o.Tenants
+	s.Shed += o.Shed
+	s.Drained += o.Drained
+	s.Checkpointed += o.Checkpointed
+	s.Resumed += o.Resumed
+	for i := range s.ShardHits {
+		s.ShardHits[i] += o.ShardHits[i]
+	}
 }
 
 // String renders the one-line form the CLI prints.
@@ -170,6 +219,16 @@ func (s EvalStats) String() string {
 	if s.Faults > 0 || s.Quarantined > 0 || s.Retries > 0 {
 		str += fmt.Sprintf(" faults=%d quarantined=%d retries=%d",
 			s.Faults, s.Quarantined, s.Retries)
+	}
+	if s.Tenants > 0 {
+		str += fmt.Sprintf(" tenants=%d", s.Tenants)
+	}
+	if s.Shed > 0 {
+		str += fmt.Sprintf(" shed=%d", s.Shed)
+	}
+	if s.Drained > 0 || s.Checkpointed > 0 || s.Resumed > 0 {
+		str += fmt.Sprintf(" drained=%d checkpointed=%d resumed=%d",
+			s.Drained, s.Checkpointed, s.Resumed)
 	}
 	if s.Batches > 0 {
 		str += fmt.Sprintf(" batches=%d batch-wall=%s", s.Batches,

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStatsStringCleanByteIdentical pins the exact one-line output of a
+// clean single-tenant run. The serve-layer counters (tenants, shed,
+// drained/checkpointed/resumed) follow the nonzero-only convention, so
+// this string must never change when the engine runs outside `autophase
+// serve` — any drift here is a CLI-output regression.
+func TestStatsStringCleanByteIdentical(t *testing.T) {
+	clean := EvalStats{Samples: 10, Compiles: 10}
+	const want = "samples=10 compiles=10 fp-hits=0 noop-ir=0 cache-hits=0 (0/32 shards) merges=0 static=0 vm=0 interp=0"
+	if got := clean.String(); got != want {
+		t.Fatalf("clean stats output drifted:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestStatsStringServeCountersConditional: the serve counters appear when
+// (and only when) nonzero.
+func TestStatsStringServeCountersConditional(t *testing.T) {
+	s := EvalStats{Samples: 4, Tenants: 3, Shed: 2, Checkpointed: 1}
+	str := s.String()
+	for _, want := range []string{"tenants=3", "shed=2", "checkpointed=1"} {
+		if !strings.Contains(str, want) {
+			t.Fatalf("serve stats should mention %s: %q", want, str)
+		}
+	}
+	clean := EvalStats{Samples: 4}
+	for _, banned := range []string{"tenants=", "shed=", "drained=", "checkpointed=", "resumed="} {
+		if strings.Contains(clean.String(), banned) {
+			t.Fatalf("non-serve stats must not mention %s: %q", banned, clean.String())
+		}
+	}
+}
+
+// TestStatsAdd: the serve layer's aggregation must sum every counter,
+// including the per-shard hit vector and the batch wall clock.
+func TestStatsAdd(t *testing.T) {
+	a := EvalStats{Samples: 3, Successes: 2, Faults: 1, Compiles: 3, BatchWall: time.Second}
+	a.ShardHits[0] = 2
+	b := EvalStats{Samples: 5, Successes: 5, Compiles: 4, Tenants: 1, BatchWall: time.Second}
+	b.ShardHits[0] = 1
+	b.ShardHits[7] = 4
+	a.Add(b)
+	if a.Samples != 8 || a.Successes != 7 || a.Faults != 1 || a.Compiles != 7 {
+		t.Fatalf("Add missed a core counter: %+v", a)
+	}
+	if a.Samples != a.Successes+a.Faults+a.Flagged {
+		t.Fatalf("Add broke the accounting invariant: %+v", a)
+	}
+	if a.ShardHits[0] != 3 || a.ShardHits[7] != 4 {
+		t.Fatalf("Add must sum shard hits element-wise: %v", a.ShardHits)
+	}
+	if a.BatchWall != 2*time.Second || a.Tenants != 1 {
+		t.Fatalf("Add missed BatchWall or Tenants: %+v", a)
+	}
+}

@@ -48,6 +48,11 @@ const (
 	// loader). The store's contract turns corruption into a cache miss, so
 	// a hit at this point exercises the rewrite path, never an error path.
 	DiskCorrupt
+	// ServePanic panics inside the serve layer's job runner, outside any
+	// compile-stage boundary (registered in serve's runJob). The server must
+	// contain it: the job fails cleanly as a fault, the worker survives, and
+	// no other tenant's jobs are disturbed.
+	ServePanic
 
 	numPoints
 )
@@ -59,6 +64,7 @@ var pointNames = [numPoints]string{
 	FeaturePanic: "feature-panic",
 	VMPanic:      "vm-panic",
 	DiskCorrupt:  "disk-corrupt",
+	ServePanic:   "serve-panic",
 }
 
 // String returns the spec name of the point ("pass-panic", ...).

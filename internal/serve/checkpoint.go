@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"autophase/internal/core"
+	"autophase/internal/ir"
+)
+
+// checkpointVersion guards the on-disk format; a mismatch is an error, not
+// a silent misparse.
+const checkpointVersion = 1
+
+// jobRecord is one unfinished job's persistent form: everything needed to
+// resume it in a later server life — the module source, the search
+// parameters, how much of the sample budget and wall budget it already
+// spent, the incumbent so progress is not redone, and the quarantine
+// records so known-bad sequences stay fenced without re-faulting.
+type jobRecord struct {
+	ID          string            `json:"id"`
+	Tenant      string            `json:"tenant"`
+	Algo        string            `json:"algo"`
+	IR          string            `json:"ir"`
+	Budget      int               `json:"budget"`
+	SeqLen      int               `json:"len"`
+	SamplesUsed int               `json:"samples_used"`
+	DeadlineMS  int64             `json:"deadline_ms"`
+	ConsumedMS  int64             `json:"consumed_ms"`
+	BestCycles  int64             `json:"best_cycles,omitempty"`
+	BestSeq     []int             `json:"best_seq,omitempty"`
+	Quarantine  []*core.EvalFault `json:"quarantine,omitempty"`
+}
+
+type checkpointFile struct {
+	Version int         `json:"version"`
+	Jobs    []jobRecord `json:"jobs"`
+}
+
+// checkpointRemaining runs at the end of Shutdown, after every worker has
+// exited: whatever jobs are still non-terminal (queued from the start, or
+// interrupted mid-run and re-queued with their progress) are marked
+// StateCheckpointed and, when a checkpoint path is configured, persisted
+// atomically so the next life resumes them. This is the "no accepted job
+// is silently lost" half of graceful shutdown; the drain window is the
+// "finish what you can" half.
+func (s *Server) checkpointRemaining() error {
+	s.mu.Lock()
+	var recs []jobRecord
+	for _, id := range s.tenantIDs {
+		t := s.tenants[id]
+		for _, j := range t.queue {
+			recs = append(recs, jobRecord{
+				ID: j.ID, Tenant: j.Tenant, Algo: j.Algo, IR: j.irText,
+				Budget: j.Budget, SeqLen: j.SeqLen, SamplesUsed: j.samplesUsed,
+				DeadlineMS: j.Deadline.Milliseconds(), ConsumedMS: j.consumed.Milliseconds(),
+				BestCycles: j.bestCycles, BestSeq: j.bestSeq, Quarantine: j.quar,
+			})
+			j.state = StateCheckpointed
+			t.active--
+			s.queued--
+			s.checkpointed++
+			close(j.done)
+		}
+		t.queue = nil
+	}
+	ckpt := s.checkpointed
+	s.mu.Unlock()
+
+	path := s.cfg.CheckpointPath
+	if path == "" {
+		return nil
+	}
+	if len(recs) == 0 {
+		// Nothing unfinished: drop any stale checkpoint so a future start
+		// does not resurrect long-dead jobs.
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	if err := writeCheckpoint(path, recs); err != nil {
+		return fmt.Errorf("serve: checkpointing %d unfinished jobs: %w", ckpt, err)
+	}
+	return nil
+}
+
+// writeCheckpoint persists records atomically (temp file + rename), so a
+// crash mid-write leaves either the old checkpoint or the new one, never a
+// torn file.
+func writeCheckpoint(path string, recs []jobRecord) error {
+	data, err := json.MarshalIndent(checkpointFile{Version: checkpointVersion, Jobs: recs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadCheckpoint re-admits a previous life's unfinished jobs. Resumed jobs
+// bypass admission control (they were admitted once and the service owes
+// them a result) and keep their IDs, spent budgets, incumbents and
+// quarantine records. The file is consumed: a later crash before the next
+// checkpoint cannot double-resume.
+func (s *Server) loadCheckpoint(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var ckpt checkpointFile
+	if err := json.Unmarshal(data, &ckpt); err != nil {
+		return fmt.Errorf("serve: corrupt checkpoint %s: %w", path, err)
+	}
+	if ckpt.Version != checkpointVersion {
+		return fmt.Errorf("serve: checkpoint %s has version %d, want %d", path, ckpt.Version, checkpointVersion)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range ckpt.Jobs {
+		r := &ckpt.Jobs[i]
+		mod, err := ir.Parse(r.IR)
+		if err != nil {
+			// The module parsed when the job was admitted; a checkpoint
+			// that no longer does is corrupt. Fail loudly rather than
+			// silently dropping an owed job.
+			return fmt.Errorf("serve: checkpoint job %s: bad ir: %w", r.ID, err)
+		}
+		j := &Job{
+			ID: r.ID, Tenant: r.Tenant, Algo: r.Algo,
+			Budget: r.Budget, SeqLen: r.SeqLen,
+			Deadline:    time.Duration(r.DeadlineMS) * time.Millisecond,
+			irText:      r.IR,
+			mod:         mod,
+			consumed:    time.Duration(r.ConsumedMS) * time.Millisecond,
+			samplesUsed: r.SamplesUsed,
+			bestCycles:  r.BestCycles,
+			bestSeq:     r.BestSeq,
+			quar:        r.Quarantine,
+		}
+		s.enqueueResumed(j)
+	}
+	return os.Remove(path)
+}

@@ -1,0 +1,12 @@
+package serve
+
+import "time"
+
+// wallNow is the server's single wall-clock read. Everything in this
+// package that needs the time — admission token buckets, deadline budgets,
+// breaker cooldowns, latency metrics — goes through Server.now, which tests
+// replace with a fake clock and production binds to this function, so the
+// package has exactly one annotated nondeterminism escape hatch.
+//
+//contractvet:allow nondeterminism -- the serve layer's one wall-clock source; deadlines and admission are wall-clock products by design, and rewards never flow through this package
+func wallNow() time.Time { return time.Now() }

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"time"
+
+	"autophase/internal/core"
+)
+
+// tokenBucket is the per-tenant admission rate limiter: rate tokens per
+// second refill up to burst, one token per accepted submission. It carries
+// no clock of its own; callers pass the current time, so tests drive it
+// deterministically.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// take withdraws one token, refilling first. On failure it reports how long
+// the caller must wait for the next token — the Retry-After the server
+// sends back with a 429.
+func (b *tokenBucket) take(now time.Time, rate, burst float64) (ok bool, retryAfter time.Duration) {
+	if b.last.IsZero() {
+		b.tokens = burst
+	} else if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * rate
+		if b.tokens > burst {
+			b.tokens = burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// breaker is the per-tenant circuit breaker: the quarantine discipline
+// promoted to a cross-tenant shield. A tenant whose jobs keep ending in
+// fault-classed failures trips its own breaker — submissions are rejected
+// with 429 until a cooldown passes, then exactly one probe job is admitted
+// (half-open); a clean probe closes the breaker, a faulting one re-opens
+// it. Other tenants never see any of this: their buckets, quotas and queue
+// slots are untouched by a neighbour's pathological modules.
+type breaker struct {
+	failures  int       // consecutive fault-classed job completions
+	openUntil time.Time // zero when closed
+	probing   bool      // a half-open probe job is in flight
+}
+
+// admit reports whether the breaker allows a new job now, and the wait to
+// advertise when it does not.
+func (b *breaker) admit(now time.Time, threshold int) (ok bool, retryAfter time.Duration) {
+	if threshold <= 0 || b.failures < threshold {
+		return true, 0
+	}
+	if now.Before(b.openUntil) {
+		return false, b.openUntil.Sub(now)
+	}
+	// Cooldown elapsed: half-open. One probe at a time.
+	if b.probing {
+		return false, time.Second
+	}
+	b.probing = true
+	return true, 0
+}
+
+// record feeds one job outcome back. Fault-classed outcomes count toward
+// the trip threshold; a success resets the breaker entirely.
+func (b *breaker) record(now time.Time, faulted bool, threshold int, cooldown time.Duration) {
+	b.probing = false
+	if !faulted {
+		b.failures = 0
+		b.openUntil = time.Time{}
+		return
+	}
+	b.failures++
+	if threshold > 0 && b.failures >= threshold {
+		b.openUntil = now.Add(cooldown)
+	}
+}
+
+// tripped reports whether the breaker currently rejects non-probe traffic.
+func (b *breaker) tripped(now time.Time, threshold int) bool {
+	return threshold > 0 && b.failures >= threshold && now.Before(b.openUntil)
+}
+
+// tenant is one tenant's complete service state. All fields are guarded by
+// the server's mu; the struct has no locking of its own.
+type tenant struct {
+	id     string
+	weight int // weighted-fair share; defaults to 1
+
+	// pass is the tenant's virtual time for stride scheduling: each
+	// dispatched job advances it by strideScale/weight, and the scheduler
+	// always serves the backlogged tenant with the smallest pass. A tenant
+	// that floods its queue therefore cannot starve anyone: its pass races
+	// ahead and everyone else's jobs are interleaved at their fair share.
+	pass uint64
+
+	bucket tokenBucket
+	brk    breaker
+
+	queue  []*Job // waiting jobs, FIFO within the tenant
+	active int    // queued + running jobs (the concurrency quota's unit)
+
+	// Outcome counters, reported by /v1/stats.
+	admitted  int64
+	shed      int64
+	done      int64
+	faulted   int64
+	deadlined int64
+
+	agg core.EvalStats // aggregate engine stats of finished jobs
+}
+
+// strideScale is the stride numerator: pass advances by strideScale/weight
+// per dispatched job, so a weight-2 tenant is served twice as often as a
+// weight-1 tenant under backlog.
+const strideScale = 1 << 16
+
+func (t *tenant) stride() uint64 {
+	w := t.weight
+	if w < 1 {
+		w = 1
+	}
+	return strideScale / uint64(w)
+}
